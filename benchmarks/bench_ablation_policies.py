@@ -1,0 +1,69 @@
+"""Ablation A1 — does the split-selection policy matter?
+
+The paper leaves the choice of which group an overloaded server sheds outside
+the core protocol and uses "hottest group" in its implementation.  This
+ablation runs the same skewed scenario with the hottest-group, random and
+round-robin policies and compares how quickly the worst-case server load is
+brought under control and how many splits each policy spends doing so.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_scale
+from repro.core.policy import (
+    HottestGroupSplitPolicy,
+    RandomGroupSplitPolicy,
+    RoundRobinSplitPolicy,
+)
+from repro.experiments.reporting import format_table
+from repro.sim.simulator import FlowSimulator
+from repro.util.rng import RandomStream
+
+
+def _run_with_policy(policy_name: str):
+    scale = bench_scale(phase_periods=3)
+    config, params, scenario = scale.config(), scale.params(), scale.scenario()
+    factories = {
+        "hottest": lambda: HottestGroupSplitPolicy(),
+        "random": lambda: RandomGroupSplitPolicy(RandomStream(1234)),
+        "round-robin": lambda: RoundRobinSplitPolicy(),
+    }
+    simulator = FlowSimulator(config, params, scenario)
+    # Install the requested policy on every server (the factory hook on
+    # ClashSystem covers construction time; here we swap post-construction to
+    # reuse the identical ring placement across policies).
+    for server in simulator.system.servers().values():
+        server._split_policy = factories[policy_name]()
+    return simulator.run()
+
+
+def test_split_policy_ablation(benchmark):
+    def run_all():
+        return {name: _run_with_policy(name) for name in ("hottest", "random", "round-robin")}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for name, result in results.items():
+        phase_c = [p for p in result.phase_summaries() if p.workload == "C"][0]
+        rows.append(
+            [
+                name,
+                result.metrics.overall_peak_load(),
+                phase_c.mean_max_load_percent,
+                result.total_splits,
+                phase_c.mean_active_servers,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["split policy", "peak load %", "C: mean max load %", "total splits", "C: active servers"],
+            rows,
+        )
+    )
+    by_name = {row[0]: row for row in rows}
+    # Every policy must eventually control the hotspot (they all split until
+    # the overload clears), but the hottest-group policy should not need more
+    # splits than the alternatives to do it.
+    assert by_name["hottest"][3] <= by_name["random"][3] * 1.2
+    assert by_name["hottest"][3] <= by_name["round-robin"][3] * 1.2

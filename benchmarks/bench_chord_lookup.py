@@ -1,0 +1,60 @@
+"""Benchmark E8 — Chord substrate sanity: O(log S) lookup hop counts.
+
+The paper's Section 1.2 relies on the base DHT resolving any key in
+O(log S) overlay hops; this benchmark measures the mean hop count of the
+bundled Chord substrate as the ring grows and prints the resulting series.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.dht.hashspace import HashSpace
+from repro.dht.ring import ChordRing
+from repro.experiments.reporting import format_table
+from repro.util.rng import RandomStream
+
+RING_SIZES = (64, 128, 256, 512, 1024, 2048)
+LOOKUPS_PER_RING = 200
+
+
+def _mean_hops(ring: ChordRing, rng: RandomStream, lookups: int) -> float:
+    total = 0
+    for _ in range(lookups):
+        total += ring.find_successor(rng.randbits(ring.space.bits)).hops
+    return total / lookups
+
+
+def test_chord_lookup_hops_scale_logarithmically(benchmark):
+    space = HashSpace(bits=24)
+    rows = []
+
+    def measure_all():
+        results = []
+        for size in RING_SIZES:
+            ring = ChordRing.build(node_count=size, space=space, rng=RandomStream(size))
+            hops = _mean_hops(ring, RandomStream(7), LOOKUPS_PER_RING)
+            results.append((size, hops))
+        return results
+
+    results = benchmark.pedantic(measure_all, rounds=1, iterations=1)
+    for size, hops in results:
+        rows.append([size, hops, 0.5 * math.log2(size)])
+    print()
+    print(format_table(["servers", "mean hops", "0.5 * log2(S)"], rows))
+    # Hop counts must grow sub-linearly (logarithmically) with ring size and
+    # stay within a small constant factor of the textbook expectation.
+    small = dict(results)[RING_SIZES[0]]
+    large = dict(results)[RING_SIZES[-1]]
+    assert large < small * (RING_SIZES[-1] / RING_SIZES[0]) ** 0.5
+    for size, hops in results:
+        assert hops <= 2.5 * math.log2(size)
+
+
+def test_chord_single_lookup_latency(benchmark):
+    """Micro-benchmark: wall-clock cost of one lookup on a 1024-node ring."""
+    space = HashSpace(bits=24)
+    ring = ChordRing.build(node_count=1024, space=space, rng=RandomStream(3))
+    rng = RandomStream(11)
+    result = benchmark(lambda: ring.find_successor(rng.randbits(24)))
+    assert result.owner in ring

@@ -1,0 +1,27 @@
+"""Regeneration of the paper's structural figures (Figure 1 and Figure 2).
+
+These figures illustrate protocol mechanics rather than measurements; the
+benchmark replays the exact splitting sequence of Figure 1 on a live
+deployment and prints the resulting logical tree and the splitting server's
+work table (Figure 2 layout).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig1_fig2 import run_figure1_figure2
+
+
+def test_figure1_and_figure2_structures(benchmark):
+    result = benchmark.pedantic(run_figure1_figure2, rounds=1, iterations=1)
+    print()
+    print("Figure 1 — binary splitting tree")
+    print(result.tree_text)
+    print()
+    print("Figure 2 — server work table")
+    print(result.table_text)
+    # The paper's leaf set after the three splits of Figure 1.
+    assert result.leaf_groups == ["0110*", "011100*", "011101*", "01111*"]
+    # The splitting server retains the left spine (0110*) and records the
+    # split of the root entry, exactly as in Figure 2's structure.
+    assert "0110*" in result.table_text
+    assert "-1" in result.table_text

@@ -1,0 +1,38 @@
+"""Benchmark / regeneration of Figure 3 — the workload skew profiles (E1).
+
+Prints the expected number of clients per base-key value bin for workloads A,
+B and C, together with skew statistics, mirroring the three curves of the
+paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig3 import run_figure3
+from repro.experiments.reporting import render_figure3
+
+
+def test_figure3_workload_profiles(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_figure3(population=100_000, sample_size=20_000),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_figure3(result))
+    # Sanity conditions matching the paper's description of the workloads.
+    assert result.skew["A"]["max_over_mean"] < result.skew["C"]["max_over_mean"]
+    assert result.skew["C"]["hottest_window_share"] > 0.2
+
+
+def test_figure3_key_generation_throughput(benchmark):
+    """Micro-benchmark: drawing identifier keys from the skewed generator."""
+    from repro.keys.identifier import RandomKeyGenerator
+    from repro.util.rng import RandomStream
+    from repro.workload.distributions import workload_c
+
+    spec = workload_c()
+    generator = RandomKeyGenerator(
+        width=24, base_bits=8, rng=RandomStream(1), base_weights=spec.weights
+    )
+    keys = benchmark(lambda: generator.generate_many(1000))
+    assert len(keys) == 1000

@@ -1,0 +1,50 @@
+"""Benchmark / regeneration of Figure 4 — load distribution, CLASH vs DHT(x) (E2–E5).
+
+Regenerates all four panels of Figure 4 on the shared scaled-down
+configuration: maximum server load over time, average server load over time,
+CLASH depth variation, and active servers per workload phase.  The printed
+tables are the data recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_scale
+from repro.experiments.fig4 import run_figure4
+from repro.experiments.reporting import format_series, render_figure4
+
+
+def test_figure4_clash_vs_fixed_depth_dht(benchmark):
+    scale = bench_scale(phase_periods=4)
+    result = benchmark.pedantic(
+        lambda: run_figure4(scale, fixed_depths=(6, 12, 24)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_figure4(result))
+    print()
+    print(format_series(result.max_load_series()["CLASH"]))
+    # The paper's qualitative claims (shape, not absolute values):
+    # 1. Coarse fixed-depth DHT melts down under the skewed workload C.
+    assert result.baseline_peak_load("DHT(6)") > 2 * result.clash_peak_load()
+    # 2. Fine-grained DHT drags in far more servers than CLASH.
+    assert result.server_utilisation_advantage("DHT(12)") > 1.5
+    assert result.server_utilisation_advantage("DHT(24)") > 1.5
+    # 3. The CLASH tree deepens (and becomes more unbalanced) as skew grows.
+    clash_phases = {p.workload: p for p in result.results["CLASH"].phase_summaries()}
+    assert clash_phases["C"].mean_depth >= clash_phases["A"].mean_depth
+    assert clash_phases["C"].depth_spread >= clash_phases["A"].depth_spread
+
+
+def test_figure4_clash_only_run_time(benchmark):
+    """Timing micro-benchmark: one CLASH simulation phase at reduced scale."""
+    from repro.sim.simulator import FlowSimulator
+
+    scale = bench_scale(phase_periods=2)
+    config, params, scenario = scale.config(), scale.params(), scale.scenario()
+
+    def run_clash():
+        return FlowSimulator(config, params, scenario).run()
+
+    result = benchmark.pedantic(run_clash, rounds=1, iterations=1)
+    assert len(result.metrics) > 0

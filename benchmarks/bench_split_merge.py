@@ -1,0 +1,88 @@
+"""Micro-benchmarks of the core protocol operations (split, merge, table lookups).
+
+Not a figure from the paper, but the operations whose costs determine how
+quickly a CLASH deployment can react within one LOAD_CHECK_PERIOD; recorded in
+EXPERIMENTS.md alongside the figure reproductions.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import ClashConfig
+from repro.core.protocol import ClashSystem
+from repro.keys.identifier import IdentifierKey
+from repro.util.rng import RandomStream
+
+
+def _fresh_system(seed: int = 3, servers: int = 64) -> ClashSystem:
+    config = ClashConfig(server_capacity=400.0)
+    return ClashSystem.create(config, server_count=servers, rng=RandomStream(seed))
+
+
+def test_split_throughput(benchmark):
+    """How many splits per second the redirection layer can orchestrate."""
+
+    def do_splits():
+        system = _fresh_system()
+        rng = RandomStream(8)
+        performed = 0
+        for _ in range(200):
+            groups = list(system.active_groups().items())
+            group, owner = groups[rng.randint(0, len(groups) - 1)]
+            if group.depth >= system.config.effective_max_depth:
+                continue
+            system.server(owner).set_group_rate(group, 2 * system.config.server_capacity)
+            outcome = system.split_server(owner)
+            performed += bool(outcome and outcome.shed)
+        system.verify_invariants()
+        return performed
+
+    performed = benchmark.pedantic(do_splits, rounds=1, iterations=1)
+    assert performed > 150
+
+
+def test_merge_throughput(benchmark):
+    """Cost of a full cool-down: consolidating a heavily split deployment."""
+
+    def split_then_merge():
+        system = _fresh_system(seed=5)
+        rng = RandomStream(9)
+        for _ in range(150):
+            groups = list(system.active_groups().items())
+            group, owner = groups[rng.randint(0, len(groups) - 1)]
+            if group.depth >= system.config.effective_max_depth:
+                continue
+            system.server(owner).set_group_rate(group, 2 * system.config.server_capacity)
+            system.split_server(owner)
+        merges = 0
+        for _ in range(40):
+            for server in system.servers().values():
+                server.reset_interval()
+            report = system.run_load_check()
+            merges += report.merge_count
+            if report.merge_count == 0:
+                break
+        system.verify_invariants()
+        return merges
+
+    merges = benchmark.pedantic(split_then_merge, rounds=1, iterations=1)
+    assert merges > 100
+
+
+def test_accept_object_handling_rate(benchmark):
+    """Server-side cost of handling ACCEPT_OBJECT probes."""
+    system = _fresh_system(seed=7)
+    config = system.config
+    rng = RandomStream(11)
+    keys = [
+        IdentifierKey(value=rng.randbits(config.key_bits), width=config.key_bits)
+        for _ in range(500)
+    ]
+
+    def route_all():
+        replies = 0
+        for key in keys:
+            _reply, _cost = system.route_accept_object(key, config.initial_depth, "bench")
+            replies += 1
+        return replies
+
+    assert benchmark(route_all) == 500

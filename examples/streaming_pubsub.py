@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Streaming publish/subscribe over CLASH, driven by the event-driven engine.
+
+This example exercises the full client/server message protocol at packet
+granularity (rather than the flow-level simulator the benchmarks use): data
+sources publish virtual streams of readings under hierarchical topic keys,
+subscribers register persistent queries, and a periodic load check lets CLASH
+split hot topic groups and consolidate cold ones while the simulation runs.
+
+Run with:  python examples/streaming_pubsub.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import ClashConfig, ClashSystem
+from repro.app.query_store import Query
+from repro.sim.engine import SimulationEngine
+from repro.util.rng import RandomStream, SeedSequenceFactory
+from repro.workload.distributions import workload_c
+from repro.workload.sources import SourcePopulation
+
+
+def main() -> None:
+    config = ClashConfig(
+        key_bits=12,
+        hash_bits=16,
+        base_bits=4,
+        initial_depth=3,
+        min_depth=2,
+        server_capacity=120.0,
+        load_check_period=30.0,
+        query_load_weight=1.0,
+    )
+    seeds = SeedSequenceFactory(99)
+    system = ClashSystem.create(config, server_count=20, rng=seeds.stream("ring"))
+    engine = SimulationEngine()
+
+    # A skewed population of 120 publishers: topic popularity follows the
+    # paper's workload C, so one topic family is disproportionately hot.
+    population = SourcePopulation(
+        count=120,
+        spec=workload_c(base_bits=config.base_bits),
+        key_bits=config.key_bits,
+        mean_stream_length=40.0,
+        rng=seeds.stream("publishers"),
+    )
+    publishers = population.materialise(prefix="pub")
+    clients = {source.name: system.make_client(f"client/{source.name}") for source in publishers}
+
+    # Subscribers register long-lived queries over topic prefixes.
+    subscriber = system.make_client("subscriber")
+    subscriber_rng = seeds.stream("subscribers")
+    for query_id in range(30):
+        key = population.make_key_generator().generate()
+        resolution = subscriber.find_group(key)
+        system.server(resolution.server).store_query(
+            Query(query_id=query_id, key=key, client="subscriber")
+        )
+
+    packet_counts: Counter = Counter()
+    rate_window: Counter = Counter()
+
+    def publish(source_index: int, now: float) -> None:
+        source = publishers[source_index]
+        packet, key_changed = source.next_packet(now)
+        client = clients[source.name]
+        if key_changed:
+            resolution = client.find_group(packet.key, use_cache=False)
+        else:
+            resolution = client.find_group(packet.key)
+        system.deliver_data(resolution.server)
+        packet_counts[resolution.server] += 1
+        rate_window[(resolution.server, resolution.group)] += 1
+        engine.schedule_in(1.0 / source.rate, lambda later: publish(source_index, later))
+
+    def load_check(now: float) -> None:
+        # Convert the packets observed in the last window into per-group rates.
+        for name in system.server_names():
+            system.server(name).reset_interval()
+        for (server_name, group), count in rate_window.items():
+            server = system.server(server_name)
+            if group in server.table and server.table.entry(group).active:
+                server.add_group_rate(group, count / config.load_check_period)
+        rate_window.clear()
+        report = system.run_load_check()
+        if report.split_count or report.merge_count:
+            print(
+                f"t={now:6.1f}s  load check: {report.split_count} split(s), "
+                f"{report.merge_count} merge(s); "
+                f"{len(system.active_servers())} active servers"
+            )
+        for client in clients.values():
+            client.invalidate_all()
+
+    for index in range(len(publishers)):
+        engine.schedule_in(0.01 * index, lambda now, index=index: publish(index, now))
+    engine.schedule_every(config.load_check_period, load_check)
+
+    engine.run_until(240.0, max_events=200_000)
+
+    print(f"\nDelivered {sum(packet_counts.values())} readings to {len(packet_counts)} servers")
+    busiest = packet_counts.most_common(3)
+    for server_name, count in busiest:
+        print(f"  {server_name}: {count} readings, "
+              f"{len(system.server(server_name).active_groups())} topic groups")
+    print("Final deployment:", system.describe())
+    system.verify_invariants()
+
+
+if __name__ == "__main__":
+    main()

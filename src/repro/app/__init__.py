@@ -1,0 +1,29 @@
+"""The streaming continuous-query application model.
+
+The paper's evaluation simulates a "pseudo-distributed system for supporting
+long-lived queries over streaming data" (Section 6): servers store persistent
+queries and process transient data packets, and a server's load is linear in
+the data rate it handles and logarithmic in the number of queries it stores.
+This package provides that application substrate:
+
+* :class:`~repro.app.load_model.LoadModel` — the load function and the
+  overload / underload threshold tests.
+* :class:`~repro.app.query_store.QueryStore` — per-key-group storage of
+  persistent queries, with the subset extraction needed when a group splits
+  and its queries migrate to the child server.
+* :class:`~repro.app.streams.VirtualStream` — the client-side notion of a
+  virtual stream: a run of data packets sharing one identifier key, whose key
+  changes every ``Ld`` packets on average.
+"""
+
+from repro.app.load_model import LoadModel
+from repro.app.query_store import Query, QueryStore
+from repro.app.streams import DataPacket, VirtualStream
+
+__all__ = [
+    "LoadModel",
+    "Query",
+    "QueryStore",
+    "DataPacket",
+    "VirtualStream",
+]

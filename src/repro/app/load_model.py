@@ -1,0 +1,83 @@
+"""The server load model for streaming continuous-query processing.
+
+Section 6 of the paper: "each server periodically computes a load value, based
+on the number of queries it currently stores and the cumulative data rate it
+currently handles.  For query-processing applications, this load is usually
+linear in the data rate, and logarithmic in the number of queries."  Overload
+and underload are detected by comparing the load against fixed thresholds
+(90 % and 54 % of capacity respectively).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.config import ClashConfig
+from repro.util.validation import check_non_negative, check_type
+
+__all__ = ["LoadModel"]
+
+
+class LoadModel:
+    """Compute server / key-group load from data rate and stored query count.
+
+    Args:
+        config: Protocol configuration carrying the capacity, the thresholds
+            and the two load weights.
+    """
+
+    def __init__(self, config: ClashConfig) -> None:
+        check_type("config", config, ClashConfig)
+        self._config = config
+
+    @property
+    def config(self) -> ClashConfig:
+        """The configuration this model evaluates against."""
+        return self._config
+
+    def load(self, data_rate: float, query_count: float = 0.0) -> float:
+        """Absolute load (units/sec): linear in rate, logarithmic in queries.
+
+        ``load = w_rate * rate + w_query * log2(1 + queries)``
+        """
+        check_non_negative("data_rate", data_rate)
+        check_non_negative("query_count", query_count)
+        return (
+            self._config.data_rate_weight * data_rate
+            + self._config.query_load_weight * math.log2(1.0 + query_count)
+        )
+
+    def load_fraction(self, data_rate: float, query_count: float = 0.0) -> float:
+        """Load expressed as a fraction of server capacity (1.0 = 100 %)."""
+        return self.load(data_rate, query_count) / self._config.server_capacity
+
+    def load_percent(self, data_rate: float, query_count: float = 0.0) -> float:
+        """Load expressed as a percentage of server capacity (the paper's plots)."""
+        return 100.0 * self.load_fraction(data_rate, query_count)
+
+    def is_overloaded(self, total_load: float) -> bool:
+        """True if an absolute load exceeds the overload threshold."""
+        check_non_negative("total_load", total_load)
+        return total_load > self._config.overload_load
+
+    def is_underloaded(self, total_load: float) -> bool:
+        """True if an absolute load is below the underload threshold."""
+        check_non_negative("total_load", total_load)
+        return total_load < self._config.underload_load
+
+    def is_cold(self, group_load: float) -> bool:
+        """True if a single group's load is low enough to consider consolidating.
+
+        A pair of sibling leaves is merged only when their *combined* load
+        would still leave the parent below the overload threshold; the
+        per-group coldness test uses half the underload threshold so that the
+        merged parent starts comfortably below it.
+        """
+        check_non_negative("group_load", group_load)
+        return group_load <= 0.5 * self._config.underload_load
+
+    def siblings_mergeable(self, left_load: float, right_load: float) -> bool:
+        """True if two sibling leaf loads are jointly cold enough to merge."""
+        check_non_negative("left_load", left_load)
+        check_non_negative("right_load", right_load)
+        return (left_load + right_load) < self._config.underload_load

@@ -1,0 +1,117 @@
+"""Virtual streams: runs of data packets sharing a single identifier key.
+
+The paper models each data source as producing packets at a constant rate,
+with the packet key changing every ``Ld`` packets on average (the *virtual
+stream length*).  A client performs a fresh CLASH lookup at the start of each
+virtual stream — and again if it is redirected mid-stream by a split or merge
+— but otherwise sends packets directly to the cached server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.keys.identifier import IdentifierKey
+from repro.util.rng import RandomStream
+from repro.util.validation import check_positive
+
+__all__ = ["DataPacket", "VirtualStream"]
+
+
+@dataclass(frozen=True)
+class DataPacket:
+    """One data packet within a virtual stream.
+
+    Attributes:
+        key: The identifier key the packet is published under.
+        source: Name of the producing data source.
+        sequence: Packet index within the virtual stream.
+        timestamp: Simulation time the packet was generated.
+    """
+
+    key: IdentifierKey
+    source: str
+    sequence: int
+    timestamp: float
+
+
+class VirtualStream:
+    """A data source's current run of packets under one identifier key.
+
+    Args:
+        source: Name of the data source.
+        key: The identifier key for this stream.
+        rate: Packet rate in packets/second.
+        mean_length: Mean virtual stream length ``Ld``; the actual length is
+            drawn from an exponential distribution as in the paper.
+        rng: Random stream used to draw the length.
+        started_at: Simulation time the stream began.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        key: IdentifierKey,
+        rate: float,
+        mean_length: float,
+        rng: RandomStream,
+        started_at: float = 0.0,
+    ) -> None:
+        check_positive("rate", rate)
+        check_positive("mean_length", mean_length)
+        self._source = source
+        self._key = key
+        self._rate = rate
+        self._started_at = started_at
+        self._sequence = 0
+        self._length = max(1, round(rng.exponential(mean_length)))
+
+    @property
+    def source(self) -> str:
+        """Name of the producing data source."""
+        return self._source
+
+    @property
+    def key(self) -> IdentifierKey:
+        """The identifier key shared by every packet of the stream."""
+        return self._key
+
+    @property
+    def rate(self) -> float:
+        """Packet rate in packets per second."""
+        return self._rate
+
+    @property
+    def length(self) -> int:
+        """Total number of packets this stream will carry before the key changes."""
+        return self._length
+
+    @property
+    def packets_sent(self) -> int:
+        """Packets emitted so far."""
+        return self._sequence
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the stream has emitted all of its packets."""
+        return self._sequence >= self._length
+
+    @property
+    def expected_duration(self) -> float:
+        """Seconds the stream will last at its constant packet rate."""
+        return self._length / self._rate
+
+    def next_packet(self) -> DataPacket:
+        """Emit the next packet (raises once the stream is exhausted)."""
+        if self.exhausted:
+            raise ValueError(
+                f"virtual stream from {self._source} is exhausted after {self._length} packets"
+            )
+        packet = DataPacket(
+            key=self._key,
+            source=self._source,
+            sequence=self._sequence,
+            timestamp=self._started_at + self._sequence / self._rate,
+        )
+        self._sequence += 1
+        return packet

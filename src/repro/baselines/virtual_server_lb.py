@@ -1,0 +1,193 @@
+"""Virtual-server migration load balancing (Rao et al., IPTPS '03).
+
+The scheme reuses Chord's virtual servers: each physical node hosts several
+virtual ring nodes, and load attaches to virtual servers.  When a physical
+node exceeds a load threshold it transfers its *heaviest movable* virtual
+server to an under-loaded physical node.  Unlike CLASH the unit of transfer is
+a whole virtual server's arc of the hash space — the scheme can equalise
+aggregate load but cannot sub-divide a single hot key region, and it destroys
+no less content locality than the base DHT already did (objects remain
+scattered at full hash granularity).
+
+This implementation operates on a load snapshot (a mapping from virtual server
+to load) and iterates migrations until no physical node is overloaded or no
+productive move remains; it is used by the A2 ablation benchmark to contrast
+against CLASH on the same skewed workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.validation import check_in_range, check_positive, check_type
+
+__all__ = ["VirtualServerBalancer", "MigrationStep"]
+
+
+@dataclass(frozen=True)
+class MigrationStep:
+    """One virtual-server migration.
+
+    Attributes:
+        virtual_server: Name of the migrated virtual server.
+        source: Physical node it moved from.
+        destination: Physical node it moved to.
+        load: The load carried along with it.
+    """
+
+    virtual_server: str
+    source: str
+    destination: str
+    load: float
+
+
+@dataclass
+class _PhysicalNode:
+    name: str
+    capacity: float
+    virtuals: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def load(self) -> float:
+        return sum(self.virtuals.values())
+
+    @property
+    def utilisation(self) -> float:
+        return self.load / self.capacity
+
+
+class VirtualServerBalancer:
+    """Iteratively migrate virtual servers from hot to cold physical nodes.
+
+    Args:
+        capacity: Per-physical-node capacity in load units.
+        overload_threshold: Utilisation above which a node sheds virtual servers.
+        underload_threshold: Utilisation below which a node accepts them.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        overload_threshold: float = 0.9,
+        underload_threshold: float = 0.54,
+    ) -> None:
+        check_positive("capacity", capacity)
+        check_in_range("overload_threshold", overload_threshold, 0.0, 10.0)
+        check_in_range("underload_threshold", underload_threshold, 0.0, 10.0)
+        if underload_threshold >= overload_threshold:
+            raise ValueError(
+                "underload_threshold must be below overload_threshold, got "
+                f"{underload_threshold} >= {overload_threshold}"
+            )
+        self._capacity = capacity
+        self._overload = overload_threshold
+        self._underload = underload_threshold
+        self._nodes: dict[str, _PhysicalNode] = {}
+
+    # ------------------------------------------------------------------ #
+    # Setup
+    # ------------------------------------------------------------------ #
+
+    def add_physical_node(self, name: str, capacity: float | None = None) -> None:
+        """Register a physical node (capacity defaults to the balancer's)."""
+        check_type("name", name, str)
+        if not name:
+            raise ValueError("physical node name must be non-empty")
+        if name in self._nodes:
+            raise ValueError(f"physical node {name!r} already exists")
+        self._nodes[name] = _PhysicalNode(
+            name=name, capacity=capacity if capacity is not None else self._capacity
+        )
+
+    def assign_virtual_server(self, physical: str, virtual: str, load: float) -> None:
+        """Attach a virtual server with the given load to a physical node."""
+        if physical not in self._nodes:
+            raise KeyError(f"unknown physical node {physical!r}")
+        if load < 0:
+            raise ValueError(f"load must be non-negative, got {load}")
+        for node in self._nodes.values():
+            if virtual in node.virtuals:
+                raise ValueError(f"virtual server {virtual!r} is already assigned")
+        self._nodes[physical].virtuals[virtual] = load
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def node_loads(self) -> dict[str, float]:
+        """Current load of every physical node."""
+        return {name: node.load for name, node in self._nodes.items()}
+
+    def node_utilisations(self) -> dict[str, float]:
+        """Current utilisation (load / capacity) of every physical node."""
+        return {name: node.utilisation for name, node in self._nodes.items()}
+
+    def max_utilisation(self) -> float:
+        """Highest physical-node utilisation."""
+        if not self._nodes:
+            raise ValueError("no physical nodes registered")
+        return max(node.utilisation for node in self._nodes.values())
+
+    def overloaded_nodes(self) -> list[str]:
+        """Physical nodes above the overload threshold, hottest first."""
+        return sorted(
+            (name for name, node in self._nodes.items() if node.utilisation > self._overload),
+            key=lambda name: -self._nodes[name].utilisation,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Balancing
+    # ------------------------------------------------------------------ #
+
+    def _best_destination(self, load: float, exclude: str) -> str | None:
+        """The least-loaded node that can absorb ``load`` without overloading."""
+        candidates = [
+            node
+            for name, node in self._nodes.items()
+            if name != exclude and (node.load + load) / node.capacity <= self._overload
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda node: (node.utilisation, node.name)).name
+
+    def balance(self, max_migrations: int = 10_000) -> list[MigrationStep]:
+        """Migrate virtual servers until no node is overloaded (or no move helps).
+
+        The heaviest *movable* virtual server of the hottest node is moved
+        first — moving the single hottest virtual server is pointless when it
+        alone exceeds a whole node's threshold, which is precisely the
+        limitation CLASH's sub-group splitting removes.
+        """
+        check_positive("max_migrations", max_migrations)
+        steps: list[MigrationStep] = []
+        while len(steps) < max_migrations:
+            overloaded = self.overloaded_nodes()
+            if not overloaded:
+                break
+            progressed = False
+            for name in overloaded:
+                node = self._nodes[name]
+                movable = sorted(
+                    node.virtuals.items(), key=lambda item: (-item[1], item[0])
+                )
+                for virtual, load in movable:
+                    destination = self._best_destination(load, exclude=name)
+                    if destination is None:
+                        continue
+                    del node.virtuals[virtual]
+                    self._nodes[destination].virtuals[virtual] = load
+                    steps.append(
+                        MigrationStep(
+                            virtual_server=virtual,
+                            source=name,
+                            destination=destination,
+                            load=load,
+                        )
+                    )
+                    progressed = True
+                    break
+                if progressed:
+                    break
+            if not progressed:
+                break
+        return steps

@@ -1,0 +1,184 @@
+"""Command-line interface for regenerating the paper's figures.
+
+Examples
+--------
+
+Regenerate every figure at the default reduced scale into ``./results``::
+
+    python -m repro all --output-dir results
+
+Regenerate only Figure 4 at the full Section 6.1 scale (slow)::
+
+    python -m repro fig4 --paper-scale --output-dir results
+
+Each command writes one plain-text report per figure (plus a CSV of the
+Figure 4 time series) and prints the report to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Callable, Sequence
+
+from repro.experiments.fig1_fig2 import run_figure1_figure2
+from repro.experiments.fig3 import run_figure3
+from repro.experiments.fig4 import run_figure4
+from repro.experiments.fig5 import run_figure5
+from repro.experiments.reporting import (
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    series_to_csv,
+)
+from repro.experiments.runner import ExperimentScale
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the figures of the CLASH paper (ICDCS 2004).",
+    )
+    parser.add_argument(
+        "figure",
+        choices=["fig1", "fig3", "fig4", "fig5", "all"],
+        help="which figure to regenerate ('fig1' covers Figures 1 and 2)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        type=pathlib.Path,
+        default=pathlib.Path("results"),
+        help="directory the text reports are written to (default: ./results)",
+    )
+    parser.add_argument(
+        "--scale-factor",
+        type=int,
+        default=10,
+        help="down-scaling factor for the simulations (default: 10)",
+    )
+    parser.add_argument(
+        "--phase-periods",
+        type=int,
+        default=8,
+        help="load-check periods per workload phase at reduced scale (default: 8)",
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="run the full 1000-server / 100,000-client configuration (slow)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=20040324,
+        help="master random seed",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="only write files, do not print the reports to stdout",
+    )
+    return parser
+
+
+def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
+    if args.paper_scale:
+        scale = ExperimentScale.paper()
+    else:
+        scale = ExperimentScale.scaled(
+            factor=args.scale_factor, phase_periods=args.phase_periods
+        )
+    if args.seed != scale.seed:
+        scale = ExperimentScale(
+            name=scale.name,
+            server_count=scale.server_count,
+            source_count=scale.source_count,
+            query_client_count=scale.query_client_count,
+            server_capacity=scale.server_capacity,
+            phase_duration=scale.phase_duration,
+            load_check_period=scale.load_check_period,
+            seed=args.seed,
+        )
+    return scale
+
+
+def _write(output_dir: pathlib.Path, name: str, text: str, quiet: bool) -> pathlib.Path:
+    output_dir.mkdir(parents=True, exist_ok=True)
+    path = output_dir / name
+    path.write_text(text + "\n", encoding="utf-8")
+    if not quiet:
+        print(text)
+        print(f"[written to {path}]")
+    return path
+
+
+def _run_fig1(args: argparse.Namespace) -> list[pathlib.Path]:
+    result = run_figure1_figure2(seed=args.seed)
+    text = "\n".join(
+        [
+            "Figure 1 — binary splitting tree (replayed split sequence)",
+            "",
+            result.tree_text,
+            "",
+            "Figure 2 — work table of the splitting server",
+            "",
+            result.table_text,
+        ]
+    )
+    return [_write(args.output_dir, "figure1_figure2.txt", text, args.quiet)]
+
+
+def _run_fig3(args: argparse.Namespace) -> list[pathlib.Path]:
+    result = run_figure3(seed=args.seed)
+    return [_write(args.output_dir, "figure3.txt", render_figure3(result), args.quiet)]
+
+
+def _run_fig4(args: argparse.Namespace) -> list[pathlib.Path]:
+    scale = _scale_from_args(args)
+    result = run_figure4(scale)
+    written = [_write(args.output_dir, "figure4.txt", render_figure4(result), args.quiet)]
+    series = list(result.max_load_series().values())
+    written.append(
+        _write(
+            args.output_dir,
+            "figure4_max_load_series.csv",
+            series_to_csv(series),
+            quiet=True,
+        )
+    )
+    return written
+
+
+def _run_fig5(args: argparse.Namespace) -> list[pathlib.Path]:
+    scale = _scale_from_args(args)
+    result = run_figure5(scale)
+    return [_write(args.output_dir, "figure5.txt", render_figure5(result), args.quiet)]
+
+
+_COMMANDS: dict[str, Callable[[argparse.Namespace], list[pathlib.Path]]] = {
+    "fig1": _run_fig1,
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    figures = list(_COMMANDS) if args.figure == "all" else [args.figure]
+    written: list[pathlib.Path] = []
+    for figure in figures:
+        written.extend(_COMMANDS[figure](args))
+    if not args.quiet:
+        print(f"\n{len(written)} report file(s) written to {args.output_dir}/")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,628 @@
+"""The CLASH redirection layer: servers + Chord ring + message accounting.
+
+:class:`ClashSystem` is the package's main entry point.  It owns the Chord
+ring, the :class:`~repro.core.server.ClashServer` instances, and the global
+message counters, and it mediates every inter-node interaction:
+
+* routing ``ACCEPT_OBJECT`` probes from clients to the DHT-resolved server,
+* orchestrating splits (including the "right child maps back to myself, so
+  split again" retry described in Section 5),
+* orchestrating bottom-up consolidation (load reports, ``RELEASE_KEYGROUP``),
+* bookkeeping of which server currently owns each active key group.
+
+The ownership registry kept here is *simulator-side* state used for metrics
+and invariant checking; the protocol itself never consults it — clients
+discover groups exclusively through ``ACCEPT_OBJECT`` probes and servers know
+only their own tables, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.client import ClashClient
+from repro.core.config import ClashConfig
+from repro.core.messages import (
+    AcceptKeyGroup,
+    AcceptObject,
+    AcceptObjectReply,
+    MessageCategory,
+    MessageStats,
+)
+from repro.core.policy import MergePolicy, SplitPolicy
+from repro.core.server import ClashServer
+from repro.dht.hashspace import HashSpace
+from repro.dht.ring import ChordRing
+from repro.keys.identifier import IdentifierKey
+from repro.keys.keygroup import KeyGroup
+from repro.util.rng import RandomStream
+from repro.util.validation import check_positive, check_type
+
+__all__ = ["ClashSystem", "SplitOutcome", "MergeOutcome"]
+
+
+@dataclass(frozen=True)
+class SplitOutcome:
+    """Result of one attempt by an overloaded server to shed load.
+
+    Attributes:
+        parent_server: Name of the splitting server.
+        group: The key group that was split (the deepest one actually split,
+            after any self-collision retries).
+        left: The left child, retained by the parent.
+        right: The right child, transferred to ``child_server``.
+        child_server: Name of the server that accepted the right child.
+        migrated_queries: Number of persistent queries migrated with the group.
+        self_collisions: How many times the DHT mapped the right child back to
+            the splitting server before a distinct child was found.
+        shed: True if responsibility was actually transferred to another
+            server; False if every retry collapsed back onto the parent.
+    """
+
+    parent_server: str
+    group: KeyGroup
+    left: KeyGroup
+    right: KeyGroup
+    child_server: str
+    migrated_queries: int
+    self_collisions: int
+    shed: bool
+
+
+@dataclass(frozen=True)
+class MergeOutcome:
+    """Result of one bottom-up consolidation.
+
+    Attributes:
+        parent_server: Server that resumed management of the parent group.
+        parent_group: The group whose children were merged back.
+        child_server: Server that released the right child.
+        returned_queries: Queries migrated back to the parent.
+    """
+
+    parent_server: str
+    parent_group: KeyGroup
+    child_server: str
+    returned_queries: int
+
+
+@dataclass
+class _LoadCheckReport:
+    """Aggregate outcome of one system-wide load check."""
+
+    splits: list[SplitOutcome] = field(default_factory=list)
+    merges: list[MergeOutcome] = field(default_factory=list)
+
+    @property
+    def split_count(self) -> int:
+        return len(self.splits)
+
+    @property
+    def merge_count(self) -> int:
+        return len(self.merges)
+
+
+class ClashSystem:
+    """A complete CLASH deployment over a Chord ring.
+
+    Args:
+        config: Protocol configuration.
+        server_names: Names of the participating servers.
+        rng: Random stream used for node placement on the ring (``None``
+            derives node ids from names by hashing, which is also valid Chord
+            behaviour).
+        split_policy_factory: Optional callable producing a per-server split
+            policy (ablation hook).
+        merge_policy_factory: Optional callable producing a per-server merge
+            policy (ablation hook).
+    """
+
+    def __init__(
+        self,
+        config: ClashConfig,
+        server_names: list[str],
+        rng: RandomStream | None = None,
+        split_policy_factory=None,
+        merge_policy_factory=None,
+    ) -> None:
+        check_type("config", config, ClashConfig)
+        if not server_names:
+            raise ValueError("at least one server is required")
+        if len(set(server_names)) != len(server_names):
+            raise ValueError("server names must be unique")
+        self._config = config
+        self._space = HashSpace(bits=config.hash_bits)
+        self._ring = ChordRing(space=self._space)
+        used_ids: set[int] = set()
+        for name in server_names:
+            if rng is None:
+                self._ring.add_node(name)
+            else:
+                node_id = rng.randbits(config.hash_bits)
+                while node_id in used_ids:
+                    node_id = rng.randbits(config.hash_bits)
+                used_ids.add(node_id)
+                self._ring.add_node(name, node_id=node_id)
+        self._ring.stabilise()
+        self._servers: dict[str, ClashServer] = {}
+        for name in server_names:
+            split_policy: SplitPolicy | None = (
+                split_policy_factory() if split_policy_factory else None
+            )
+            merge_policy: MergePolicy | None = (
+                merge_policy_factory() if merge_policy_factory else None
+            )
+            self._servers[name] = ClashServer(
+                name=name,
+                config=config,
+                split_policy=split_policy,
+                merge_policy=merge_policy,
+            )
+        self._group_owner: dict[KeyGroup, str] = {}
+        self._messages = MessageStats()
+        self._bootstrapped = False
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def create(
+        cls,
+        config: ClashConfig,
+        server_count: int,
+        rng: RandomStream | None = None,
+        bootstrap: bool = True,
+        **kwargs,
+    ) -> "ClashSystem":
+        """Create a system with servers named ``s0 .. s{n-1}`` and bootstrap it."""
+        check_type("server_count", server_count, int)
+        check_positive("server_count", server_count)
+        system = cls(
+            config=config,
+            server_names=[f"s{index}" for index in range(server_count)],
+            rng=rng,
+            **kwargs,
+        )
+        if bootstrap:
+            system.bootstrap()
+        return system
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def config(self) -> ClashConfig:
+        """The protocol configuration."""
+        return self._config
+
+    @property
+    def ring(self) -> ChordRing:
+        """The underlying Chord ring."""
+        return self._ring
+
+    @property
+    def messages(self) -> MessageStats:
+        """Cumulative message counters (reset with :meth:`reset_messages`)."""
+        return self._messages
+
+    def reset_messages(self) -> None:
+        """Zero the message counters (typically at the start of an interval)."""
+        self._messages.reset()
+
+    def servers(self) -> dict[str, ClashServer]:
+        """All servers, keyed by name."""
+        return dict(self._servers)
+
+    def server(self, name: str) -> ClashServer:
+        """A single server by name."""
+        if name not in self._servers:
+            raise KeyError(f"no server named {name!r}")
+        return self._servers[name]
+
+    def server_names(self) -> list[str]:
+        """The names of every server in the deployment."""
+        return list(self._servers)
+
+    def active_servers(self) -> list[str]:
+        """Names of the servers currently managing at least one key group."""
+        return sorted({owner for owner in self._group_owner.values()})
+
+    def active_groups(self) -> dict[KeyGroup, str]:
+        """The current (active key group → owning server) map."""
+        return dict(self._group_owner)
+
+    def depth_statistics(self) -> tuple[int, float, int]:
+        """(min, average, max) depth over all active key groups."""
+        if not self._group_owner:
+            raise ValueError("the system has no active key groups")
+        depths = [group.depth for group in self._group_owner]
+        return min(depths), sum(depths) / len(depths), max(depths)
+
+    def make_client(self, name: str) -> ClashClient:
+        """Create a client wired to this system's transport."""
+        return ClashClient(
+            name=name,
+            router=self,
+            key_bits=self._config.key_bits,
+            initial_depth_hint=self._config.initial_depth,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Bootstrap
+    # ------------------------------------------------------------------ #
+
+    def bootstrap(self, initial_depth: int | None = None) -> None:
+        """Partition the key space into root groups and assign them via the DHT.
+
+        Every depth-``initial_depth`` key group is assigned to the server the
+        DHT maps its virtual key to; those assignments become root ServerTable
+        entries (ParentID = −1), which consolidation never collapses past.
+        """
+        if self._bootstrapped:
+            raise RuntimeError("the system has already been bootstrapped")
+        depth = initial_depth if initial_depth is not None else self._config.initial_depth
+        if not self._config.min_depth <= depth <= self._config.key_bits:
+            raise ValueError(
+                f"initial depth must be in [{self._config.min_depth}, "
+                f"{self._config.key_bits}], got {depth}"
+            )
+        for prefix in range(1 << depth):
+            group = KeyGroup(prefix=prefix, depth=depth, width=self._config.key_bits)
+            owner = self._ring.owner_of(self._ring.hash_function.hash_key(group.virtual_key))
+            self._servers[owner].assign_root_group(group)
+            self._group_owner[group] = owner
+        self._bootstrapped = True
+
+    # ------------------------------------------------------------------ #
+    # Group resolution (ground truth, used by the simulator and tests)
+    # ------------------------------------------------------------------ #
+
+    def find_active_group(self, key: IdentifierKey) -> tuple[KeyGroup, str]:
+        """The active group containing ``key`` and its owner (registry view).
+
+        This is the ground-truth resolution the simulator uses for efficiency;
+        protocol-level resolution goes through
+        :meth:`route_accept_object` / :class:`~repro.core.client.ClashClient`.
+        """
+        for depth in range(self._config.key_bits + 1):
+            group = KeyGroup.from_key(key, depth)
+            owner = self._group_owner.get(group)
+            if owner is not None:
+                return group, owner
+        raise LookupError(f"no active key group covers key {key}")
+
+    def owner_of_group(self, group: KeyGroup) -> str:
+        """The owner of an active group (raises if the group is not active)."""
+        if group not in self._group_owner:
+            raise KeyError(f"group {group} is not an active key group")
+        return self._group_owner[group]
+
+    # ------------------------------------------------------------------ #
+    # Message transport
+    # ------------------------------------------------------------------ #
+
+    def _charge_lookup(self, hops: int) -> int:
+        """Charge one request/reply pair plus (optionally) DHT routing hops."""
+        cost = 2
+        self._messages.add(MessageCategory.LOOKUP, 2)
+        if self._config.count_routing_hops:
+            self._messages.add(MessageCategory.DHT_ROUTING, hops)
+            cost += hops
+        return cost
+
+    def route_accept_object(
+        self, key: IdentifierKey, estimated_depth: int, sender: str
+    ) -> tuple[AcceptObjectReply, int]:
+        """Route an ``ACCEPT_OBJECT`` probe to the DHT-resolved server.
+
+        Returns the server's reply and the number of messages charged.
+        """
+        if not 0 <= estimated_depth <= self._config.key_bits:
+            raise ValueError(
+                f"estimated_depth must be in [0, {self._config.key_bits}], "
+                f"got {estimated_depth}"
+            )
+        group = KeyGroup.from_key(key, estimated_depth)
+        lookup = self._ring.lookup_key(group.virtual_key)
+        cost = self._charge_lookup(lookup.hops)
+        message = AcceptObject(key=key, estimated_depth=estimated_depth, sender=sender)
+        reply = self._servers[lookup.owner].handle_accept_object(message)
+        return reply, cost
+
+    def deliver_data(self, server_name: str, packet_count: float = 1.0) -> None:
+        """Account application data packets delivered directly to a server."""
+        if server_name not in self._servers:
+            raise KeyError(f"no server named {server_name!r}")
+        self._messages.add(MessageCategory.DATA, packet_count)
+
+    # ------------------------------------------------------------------ #
+    # Splitting
+    # ------------------------------------------------------------------ #
+
+    def split_server(self, server_name: str) -> SplitOutcome | None:
+        """Ask an overloaded server to shed load by splitting one key group.
+
+        Implements Section 5: split the selected group, use the DHT to find
+        the right child's owner, and transfer responsibility with
+        ``ACCEPT_KEYGROUP``.  If the DHT maps the right child back to the
+        splitting server, the depth is increased again (bounded by
+        ``split_retry_limit``); each such self-collision leaves an extra local
+        split behind, exactly as the paper describes.
+
+        Returns ``None`` when the server has nothing left to split.
+        """
+        server = self.server(server_name)
+        group = server.choose_group_to_split()
+        if group is None:
+            return None
+        self_collisions = 0
+        current = group
+        for _attempt in range(self._config.split_retry_limit):
+            left, right = current.split()
+            lookup = self._ring.lookup_key(right.virtual_key)
+            if self._config.count_routing_hops:
+                self._messages.add(MessageCategory.DHT_ROUTING, lookup.hops)
+            if lookup.owner != server_name:
+                left_group, right_group, migrated = server.perform_split(
+                    current, lookup.owner
+                )
+                transfer = AcceptKeyGroup(
+                    group=right_group,
+                    parent_server=server_name,
+                    migrated_queries=len(migrated),
+                )
+                self._servers[lookup.owner].accept_keygroup(transfer, queries=migrated)
+                self._messages.add(MessageCategory.SPLIT, 2)  # transfer + ack
+                self._messages.add(MessageCategory.STATE_TRANSFER, len(migrated))
+                self._group_owner.pop(current, None)
+                self._group_owner[left_group] = server_name
+                self._group_owner[right_group] = lookup.owner
+                return SplitOutcome(
+                    parent_server=server_name,
+                    group=current,
+                    left=left_group,
+                    right=right_group,
+                    child_server=lookup.owner,
+                    migrated_queries=len(migrated),
+                    self_collisions=self_collisions,
+                    shed=True,
+                )
+            # The right child maps back to this very server: keep both halves
+            # locally and re-randomise by splitting the right child again.
+            if current.depth + 1 >= self._config.effective_max_depth:
+                break
+            left_group, right_group = server.perform_local_split(current)
+            self._group_owner.pop(current, None)
+            self._group_owner[left_group] = server_name
+            self._group_owner[right_group] = server_name
+            self_collisions += 1
+            current = right_group
+        return SplitOutcome(
+            parent_server=server_name,
+            group=current,
+            left=current,
+            right=current,
+            child_server=server_name,
+            migrated_queries=0,
+            self_collisions=self_collisions,
+            shed=False,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Consolidation
+    # ------------------------------------------------------------------ #
+
+    def exchange_load_reports(self) -> int:
+        """Deliver every leaf's periodic load report to its parent server.
+
+        Returns the number of reports delivered (each is charged as one MERGE
+        message).
+        """
+        delivered = 0
+        for server in self._servers.values():
+            for report in server.build_load_reports():
+                # The child knows its parent server directly: it is the
+                # ParentID recorded when the group was transferred.
+                parent_name = server.table.entry(report.group).parent_id
+                if parent_name is None or parent_name not in self._servers:
+                    continue
+                self._servers[parent_name].receive_load_report(report)
+                self._messages.add(MessageCategory.MERGE, 1)
+                delivered += 1
+        return delivered
+
+    def consolidate_server(self, server_name: str) -> list[MergeOutcome]:
+        """Perform every consolidation currently possible at ``server_name``.
+
+        For each inactive parent entry whose two children are jointly cold
+        (left child local, right child known from a load report), the parent
+        asks the right-child server to release the group and resumes managing
+        the parent group itself.
+        """
+        server = self.server(server_name)
+        outcomes: list[MergeOutcome] = []
+        for parent_group in server.consolidation_candidates():
+            entry = server.table.entry(parent_group)
+            child_server_name = entry.right_child_id
+            if child_server_name is None or child_server_name not in self._servers:
+                continue
+            child_server = self._servers[child_server_name]
+            _left, right = parent_group.split()
+            if right not in child_server.table or not child_server.table.entry(right).active:
+                # The child has split the group further since reporting; skip.
+                continue
+            returned = child_server.release_group(right)
+            left = parent_group.split()[0]
+            if left not in server.table or not server.table.entry(left).active:
+                # The local left child changed under us; undo is not needed
+                # because release_group only removed the child's entry — put
+                # the right child back where it was.
+                child_server.accept_keygroup(
+                    AcceptKeyGroup(group=right, parent_server=server_name), queries=returned
+                )
+                continue
+            server.accept_keygroup_back(parent_group, queries=returned)
+            self._messages.add(MessageCategory.MERGE, 2)  # release request + transfer
+            self._messages.add(MessageCategory.STATE_TRANSFER, len(returned))
+            self._group_owner.pop(left, None)
+            self._group_owner.pop(right, None)
+            self._group_owner[parent_group] = server_name
+            outcomes.append(
+                MergeOutcome(
+                    parent_server=server_name,
+                    parent_group=parent_group,
+                    child_server=child_server_name,
+                    returned_queries=len(returned),
+                )
+            )
+        return outcomes
+
+    # ------------------------------------------------------------------ #
+    # Periodic load check
+    # ------------------------------------------------------------------ #
+
+    def run_load_check(self, max_splits_per_server: int = 4) -> _LoadCheckReport:
+        """One system-wide LOAD_CHECK_PERIOD pass: split hot servers, merge cold ones.
+
+        Overloaded servers split repeatedly (up to ``max_splits_per_server``)
+        until they drop below the overload threshold; under-loaded servers
+        exchange load reports with parents and consolidate cold sibling pairs.
+        """
+        report = _LoadCheckReport()
+        for name, server in self._servers.items():
+            attempts = 0
+            while server.is_overloaded() and attempts < max_splits_per_server:
+                outcome = self.split_server(name)
+                attempts += 1
+                if outcome is None:
+                    break
+                report.splits.append(outcome)
+                if not outcome.shed:
+                    break
+        self.exchange_load_reports()
+        for name, server in self._servers.items():
+            if not server.is_active():
+                continue
+            # Consolidation only runs on servers that are themselves
+            # under-loaded (the paper's "under conditions of under-load");
+            # merging into a busy server would immediately re-trigger a split.
+            if server.is_underloaded():
+                report.merges.extend(self.consolidate_server(name))
+        return report
+
+    # ------------------------------------------------------------------ #
+    # Server failure handling
+    # ------------------------------------------------------------------ #
+
+    def handle_server_failure(self, failed: str) -> dict[KeyGroup, str]:
+        """Recover from the abrupt loss of a server.
+
+        The paper leaves fault handling to the underlying DHT's machinery;
+        this is the natural completion a deployable system needs.  Recovery
+        proceeds as the surviving servers would: the failed node is removed
+        from the ring, and every key group it actively managed is re-assigned
+        to the server its virtual key now hashes to.  When the failed node was
+        the recorded right child of a surviving parent entry, the parent
+        re-issues the ``ACCEPT_KEYGROUP`` (preserving the consolidation
+        linkage); otherwise the group restarts as a root entry on its new
+        owner.  Persistent queries stored on the failed server are lost — they
+        are soft state that clients re-register, exactly as in the paper's
+        long-lived query model.
+
+        Returns the mapping from re-assigned group to its new owner.
+        """
+        if failed not in self._servers:
+            raise KeyError(f"no server named {failed!r}")
+        failed_server = self._servers[failed]
+        orphaned = list(failed_server.active_groups())
+        # Remember, for each orphaned group, which surviving server (if any)
+        # holds the inactive parent entry naming the failed node as its child.
+        surviving_parent: dict[KeyGroup, str] = {}
+        for group in orphaned:
+            if group.depth == 0:
+                continue
+            parent = group.parent()
+            for name, server in self._servers.items():
+                if name == failed:
+                    continue
+                if parent in server.table:
+                    entry = server.table.entry(parent)
+                    if not entry.active and entry.right_child_id == failed:
+                        surviving_parent[group] = name
+                        break
+        del self._servers[failed]
+        self._ring.remove_node(failed)
+        self._ring.stabilise()
+        reassigned: dict[KeyGroup, str] = {}
+        for group in orphaned:
+            self._group_owner.pop(group, None)
+            new_owner = self._ring.owner_of(self._ring.hash_function.hash_key(group.virtual_key))
+            parent_name = surviving_parent.get(group)
+            transfer = AcceptKeyGroup(
+                group=group, parent_server=parent_name if parent_name else new_owner
+            )
+            if parent_name is not None:
+                self._servers[new_owner].accept_keygroup(transfer)
+                # The parent's bookkeeping must name the new child owner so
+                # that future consolidations contact the right server.
+                self._servers[parent_name].table.entry(group.parent()).right_child_id = new_owner
+            else:
+                self._servers[new_owner].assign_root_group(group)
+            self._messages.add(MessageCategory.SPLIT, 2)
+            self._group_owner[group] = new_owner
+            reassigned[group] = new_owner
+        return reassigned
+
+    # ------------------------------------------------------------------ #
+    # Invariant checking
+    # ------------------------------------------------------------------ #
+
+    def verify_invariants(self) -> None:
+        """Assert every global protocol invariant.
+
+        1. Active groups are mutually prefix-free and exactly cover the key
+           space.
+        2. The ownership registry matches the servers' own tables.
+        3. Every active group is owned by the server its virtual key hashes to
+           *unless* it was created by a self-collision retry (in which case it
+           lives on the retrying server); the base-case mapping is what makes
+           client depth discovery converge.
+        4. Per-server table invariants hold.
+        """
+        total = 0
+        groups = sorted(self._group_owner)
+        for index, group in enumerate(groups):
+            total += group.size
+            for other in groups[index + 1 :]:
+                assert not group.overlaps(other), (
+                    f"active groups {group} and {other} overlap"
+                )
+        assert total == (1 << self._config.key_bits), (
+            f"active groups cover {total} keys, expected {1 << self._config.key_bits}"
+        )
+        for group, owner in self._group_owner.items():
+            server = self._servers[owner]
+            assert group in server.table, f"{owner} is missing an entry for {group}"
+            assert server.table.entry(group).active, (
+                f"{owner}'s entry for {group} is not active"
+            )
+        for name, server in self._servers.items():
+            server.table.check_invariants()
+            for group in server.active_groups():
+                assert self._group_owner.get(group) == name, (
+                    f"registry does not record {name} as owner of {group}"
+                )
+
+    def describe(self) -> dict[str, object]:
+        """A summary snapshot of the deployment (for examples and debugging)."""
+        depths = [group.depth for group in self._group_owner]
+        return {
+            "servers": len(self._servers),
+            "active_servers": len(self.active_servers()),
+            "active_groups": len(self._group_owner),
+            "min_depth": min(depths) if depths else None,
+            "max_depth": max(depths) if depths else None,
+            "messages": self._messages.snapshot(),
+        }

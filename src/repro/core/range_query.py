@@ -1,0 +1,248 @@
+"""Range queries over the hierarchical identifier key space (paper Section 7).
+
+The paper's future-work section argues that CLASH will handle *range queries*
+better than a basic DHT: because CLASH clusters a contiguous range of
+identifier keys onto few servers (one, if load permits), a query over a key
+range needs to be replicated to far fewer servers than under a fixed
+fine-grained partition, where the range is scattered across many nodes.
+
+This module implements that extension:
+
+* :func:`canonical_cover` — decompose an arbitrary closed key interval into
+  the minimal set of prefix-aligned key groups (the classic canonical cover
+  used by trie/quad-tree range queries).
+* :class:`RangeQueryPlanner` — resolve a range against a live
+  :class:`~repro.core.protocol.ClashSystem`: which active key groups (and
+  therefore servers) must receive a copy of the query, and at what message
+  cost.
+* :func:`fixed_depth_replica_count` — the comparison point: how many
+  fixed-depth groups a basic ``DHT(x)`` deployment would have to contact for
+  the same range.
+
+The E9 benchmark (`benchmarks/bench_range_queries.py`) quantifies the
+difference on skew-shaped deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.protocol import ClashSystem
+from repro.keys.identifier import IdentifierKey
+from repro.keys.keygroup import KeyGroup
+from repro.util.validation import check_type
+
+__all__ = [
+    "KeyRange",
+    "canonical_cover",
+    "fixed_depth_replica_count",
+    "RangeQueryPlan",
+    "RangeQueryPlanner",
+]
+
+
+@dataclass(frozen=True)
+class KeyRange:
+    """A closed interval ``[low, high]`` of ``width``-bit identifier key values.
+
+    Attributes:
+        low: Smallest key value in the range.
+        high: Largest key value in the range (inclusive).
+        width: Identifier key width N.
+    """
+
+    low: int
+    high: int
+    width: int
+
+    def __post_init__(self) -> None:
+        check_type("low", self.low, int)
+        check_type("high", self.high, int)
+        check_type("width", self.width, int)
+        if self.width <= 0:
+            raise ValueError(f"width must be positive, got {self.width}")
+        if not 0 <= self.low <= self.high < (1 << self.width):
+            raise ValueError(
+                f"expected 0 <= low <= high < 2**width, got low={self.low}, "
+                f"high={self.high}, width={self.width}"
+            )
+
+    @property
+    def size(self) -> int:
+        """Number of key values in the range."""
+        return self.high - self.low + 1
+
+    def contains(self, key: IdentifierKey) -> bool:
+        """True if the key's value falls inside the range."""
+        if key.width != self.width:
+            raise ValueError(
+                f"key width {key.width} does not match range width {self.width}"
+            )
+        return self.low <= key.value <= self.high
+
+    def overlaps_group(self, group: KeyGroup) -> bool:
+        """True if the range shares at least one key with ``group``."""
+        if group.width != self.width:
+            raise ValueError(
+                f"group width {group.width} does not match range width {self.width}"
+            )
+        group_low = group.virtual_key.value
+        group_high = group_low + group.size - 1
+        return not (group_high < self.low or group_low > self.high)
+
+    @classmethod
+    def from_prefix(cls, group: KeyGroup) -> "KeyRange":
+        """The contiguous range covered by a key group."""
+        low = group.virtual_key.value
+        return cls(low=low, high=low + group.size - 1, width=group.width)
+
+
+def canonical_cover(key_range: KeyRange) -> list[KeyGroup]:
+    """Decompose a key range into the minimal list of prefix-aligned key groups.
+
+    The returned groups are disjoint, ordered by their low end, and their
+    union is exactly the range.  The list has at most ``2 * width`` entries.
+    """
+    check_type("key_range", key_range, KeyRange)
+    cover: list[KeyGroup] = []
+
+    def descend(group: KeyGroup) -> None:
+        group_range = KeyRange.from_prefix(group)
+        if group_range.low > key_range.high or group_range.high < key_range.low:
+            return
+        if key_range.low <= group_range.low and group_range.high <= key_range.high:
+            cover.append(group)
+            return
+        left, right = group.split()
+        descend(left)
+        descend(right)
+
+    descend(KeyGroup.root(key_range.width))
+    return cover
+
+
+def fixed_depth_replica_count(key_range: KeyRange, depth: int) -> int:
+    """How many depth-``depth`` groups a basic DHT must contact for the range.
+
+    This is the number of distinct ``depth``-bit prefixes intersecting the
+    range; with high probability each maps to a different server, so it is
+    also (up to collisions) the number of query replicas ``DHT(depth)`` needs.
+    """
+    if not 0 <= depth <= key_range.width:
+        raise ValueError(f"depth must be in [0, {key_range.width}], got {depth}")
+    shift = key_range.width - depth
+    first = key_range.low >> shift
+    last = key_range.high >> shift
+    return last - first + 1
+
+
+@dataclass
+class RangeQueryPlan:
+    """The result of planning one range query against a CLASH deployment.
+
+    Attributes:
+        key_range: The queried range.
+        cover: The canonical prefix cover of the range.
+        groups: The active key groups that must receive the query.
+        servers: The distinct servers those groups live on (the replica set).
+        messages: Messages charged for resolving the plan (one probe/reply
+            pair per cover segment when resolved through the protocol;
+            zero when resolved from the simulator-side registry).
+    """
+
+    key_range: KeyRange
+    cover: list[KeyGroup] = field(default_factory=list)
+    groups: list[KeyGroup] = field(default_factory=list)
+    servers: list[str] = field(default_factory=list)
+    messages: int = 0
+
+    @property
+    def replica_count(self) -> int:
+        """Number of servers the query must be replicated to."""
+        return len(self.servers)
+
+
+class RangeQueryPlanner:
+    """Plan range queries against a live CLASH deployment.
+
+    Args:
+        system: The deployment to plan against.
+    """
+
+    def __init__(self, system: ClashSystem) -> None:
+        check_type("system", system, ClashSystem)
+        self._system = system
+
+    def plan(self, key_range: KeyRange, use_protocol: bool = False) -> RangeQueryPlan:
+        """Compute the replica set for a range query.
+
+        Args:
+            key_range: The queried key range.
+            use_protocol: When True, each cover segment is resolved through a
+                real client depth search (charging messages); when False the
+                simulator-side registry is consulted directly (no messages),
+                which is sufficient for analysis.
+        """
+        if key_range.width != self._system.config.key_bits:
+            raise ValueError(
+                f"range width {key_range.width} does not match the system's key "
+                f"width {self._system.config.key_bits}"
+            )
+        cover = canonical_cover(key_range)
+        plan = RangeQueryPlan(key_range=key_range, cover=cover)
+        seen_groups: set[KeyGroup] = set()
+        seen_servers: set[str] = set()
+        client = self._system.make_client("range-query-planner") if use_protocol else None
+        for segment in cover:
+            targets = self._resolve_segment(segment, client, plan)
+            for group, owner in targets:
+                if group not in seen_groups:
+                    seen_groups.add(group)
+                    plan.groups.append(group)
+                if owner not in seen_servers:
+                    seen_servers.add(owner)
+                    plan.servers.append(owner)
+        return plan
+
+    def _resolve_segment(self, segment, client, plan) -> list[tuple[KeyGroup, str]]:
+        """All (active group, owner) pairs overlapping one cover segment."""
+        active = self._system.active_groups()
+        # Case 1: the segment is contained in a single (shallower or equal)
+        # active group — find it by resolving the segment's first key.
+        first_key = segment.virtual_key
+        containing, owner = self._system.find_active_group(first_key)
+        if client is not None:
+            result = client.find_group(first_key, use_cache=False)
+            plan.messages += result.messages
+            containing, owner = result.group, result.server
+        if containing.depth <= segment.depth:
+            return [(containing, owner)]
+        # Case 2: the segment has been split further — every active descendant
+        # of the segment receives a copy.
+        targets = []
+        for group, group_owner in active.items():
+            if segment.contains_group(group):
+                targets.append((group, group_owner))
+                if client is not None:
+                    # Locating each additional shard costs one more resolution.
+                    result = client.find_group(group.virtual_key, use_cache=False)
+                    plan.messages += result.messages
+        return sorted(targets)
+
+    def compare_with_fixed_depth(
+        self, key_range: KeyRange, depth: int
+    ) -> dict[str, float]:
+        """CLASH vs ``DHT(depth)`` replica counts for one range.
+
+        Returns a dictionary with the CLASH replica count, the fixed-depth
+        replica count and the reduction factor (>= 1 means CLASH contacts no
+        more servers than the fixed-depth DHT).
+        """
+        plan = self.plan(key_range)
+        fixed = fixed_depth_replica_count(key_range, depth)
+        clash = max(1, plan.replica_count)
+        return {
+            "clash_replicas": float(plan.replica_count),
+            "fixed_depth_replicas": float(fixed),
+            "reduction_factor": fixed / clash,
+        }

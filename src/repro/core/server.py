@@ -1,0 +1,425 @@
+"""The CLASH server: load monitoring, binary splitting and consolidation.
+
+A :class:`ClashServer` owns a :class:`~repro.core.server_table.ServerTable`,
+a :class:`~repro.app.query_store.QueryStore` of persistent queries, and the
+per-group data-rate measurements for the current interval.  It implements the
+server side of Section 5 of the paper:
+
+* the three-case ``ACCEPT_OBJECT`` handler,
+* mandatory acceptance of ``ACCEPT_KEYGROUP`` transfers,
+* selection of a group to shed when overloaded (pluggable policy, the paper
+  uses "hottest"),
+* bottom-up consolidation bookkeeping (load reports from children, merge when
+  both children of an inactive entry are cold).
+
+Servers never talk to each other directly in this module — all inter-server
+communication is mediated by :class:`~repro.core.protocol.ClashSystem`, which
+models the network and charges message costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.app.load_model import LoadModel
+from repro.app.query_store import Query, QueryStore
+from repro.core.config import ClashConfig
+from repro.core.messages import (
+    AcceptKeyGroup,
+    AcceptObject,
+    AcceptObjectReply,
+    LoadReport,
+    ReleaseKeyGroup,
+    ReplyStatus,
+)
+from repro.core.policy import (
+    CoolestGroupMergePolicy,
+    HottestGroupSplitPolicy,
+    MergePolicy,
+    SplitPolicy,
+)
+from repro.core.server_table import SELF_PARENT, ServerTable, ServerTableEntry
+from repro.keys.identifier import IdentifierKey
+from repro.keys.keygroup import KeyGroup
+
+__all__ = ["ClashServer", "GroupLoad"]
+
+
+@dataclass(frozen=True)
+class GroupLoad:
+    """Load breakdown of a single key group over the last interval.
+
+    Attributes:
+        group: The key group.
+        data_rate: Aggregate packet rate (packets/sec) directed at the group.
+        query_count: Number of persistent queries stored under the group.
+        load: Combined load in absolute units/sec according to the load model.
+    """
+
+    group: KeyGroup
+    data_rate: float
+    query_count: int
+    load: float
+
+
+class ClashServer:
+    """One peer server participating in the CLASH overlay.
+
+    Args:
+        name: The server's name (also its identity on the Chord ring).
+        config: Protocol configuration.
+        split_policy: How to choose the group to shed when overloaded
+            (defaults to the paper's hottest-group policy).
+        merge_policy: How to choose the group to consolidate when under-loaded
+            (defaults to the paper's coldest-group policy).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: ClashConfig,
+        split_policy: SplitPolicy | None = None,
+        merge_policy: MergePolicy | None = None,
+    ) -> None:
+        if not name:
+            raise ValueError("server name must be non-empty")
+        self._name = name
+        self._config = config
+        self._load_model = LoadModel(config)
+        self._table = ServerTable(key_bits=config.key_bits)
+        self._queries = QueryStore()
+        self._group_rates: dict[KeyGroup, float] = {}
+        self._group_query_counts: dict[KeyGroup, float] = {}
+        self._child_reports: dict[KeyGroup, LoadReport] = {}
+        self._split_policy = split_policy or HottestGroupSplitPolicy()
+        self._merge_policy = merge_policy or CoolestGroupMergePolicy()
+        self.splits_performed = 0
+        self.merges_performed = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:
+        """The server's name."""
+        return self._name
+
+    @property
+    def config(self) -> ClashConfig:
+        """The protocol configuration the server runs with."""
+        return self._config
+
+    @property
+    def table(self) -> ServerTable:
+        """The server's work table (Figure 2)."""
+        return self._table
+
+    @property
+    def query_store(self) -> QueryStore:
+        """The persistent queries currently stored on this server."""
+        return self._queries
+
+    @property
+    def load_model(self) -> LoadModel:
+        """The load model used for overload / underload decisions."""
+        return self._load_model
+
+    def active_groups(self) -> list[KeyGroup]:
+        """The key groups this server currently manages."""
+        return self._table.active_groups()
+
+    def is_active(self) -> bool:
+        """True if the server currently manages at least one key group."""
+        return bool(self._table.active_groups())
+
+    # ------------------------------------------------------------------ #
+    # Load bookkeeping
+    # ------------------------------------------------------------------ #
+
+    def reset_interval(self) -> None:
+        """Clear per-interval measurements (rates and child load reports)."""
+        self._group_rates.clear()
+        self._group_query_counts.clear()
+        self._child_reports.clear()
+
+    def set_group_rate(self, group: KeyGroup, rate: float) -> None:
+        """Record the data rate observed for an active group this interval."""
+        if rate < 0:
+            raise ValueError(f"rate must be non-negative, got {rate}")
+        if group not in self._table or not self._table.entry(group).active:
+            raise KeyError(f"{self._name} does not actively manage group {group}")
+        self._group_rates[group] = rate
+
+    def add_group_rate(self, group: KeyGroup, rate: float) -> None:
+        """Accumulate additional data rate onto an active group."""
+        current = self._group_rates.get(group, 0.0)
+        self.set_group_rate(group, current + rate)
+
+    def set_group_query_count(self, group: KeyGroup, count: float) -> None:
+        """Override the stored-query count used for an active group's load.
+
+        The flow-level simulator models the 50,000-strong query population
+        analytically (expected counts per group) rather than materialising
+        every query object; this override supplies that expected count.  When
+        no override is present the count comes from the server's own
+        :class:`~repro.app.query_store.QueryStore`.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if group not in self._table or not self._table.entry(group).active:
+            raise KeyError(f"{self._name} does not actively manage group {group}")
+        self._group_query_counts[group] = count
+
+    def group_loads(self) -> dict[KeyGroup, GroupLoad]:
+        """Per-active-group load breakdown for the current interval."""
+        loads: dict[KeyGroup, GroupLoad] = {}
+        for group in self._table.active_groups():
+            rate = self._group_rates.get(group, 0.0)
+            if group in self._group_query_counts:
+                query_count = self._group_query_counts[group]
+            else:
+                query_count = self._queries.count_in_group(group)
+            load = self._load_model.load(rate, query_count)
+            loads[group] = GroupLoad(
+                group=group, data_rate=rate, query_count=int(query_count), load=load
+            )
+        return loads
+
+    def total_load(self) -> float:
+        """The server's total load in absolute units/sec."""
+        return sum(entry.load for entry in self.group_loads().values())
+
+    def load_percent(self) -> float:
+        """The server's total load as a percentage of its capacity."""
+        return 100.0 * self.total_load() / self._config.server_capacity
+
+    def is_overloaded(self) -> bool:
+        """True if the server's load exceeds the overload threshold."""
+        return self._load_model.is_overloaded(self.total_load())
+
+    def is_underloaded(self) -> bool:
+        """True if the server's load is below the underload threshold."""
+        return self._load_model.is_underloaded(self.total_load())
+
+    # ------------------------------------------------------------------ #
+    # Key-group assignment
+    # ------------------------------------------------------------------ #
+
+    def assign_root_group(self, group: KeyGroup) -> None:
+        """Assign an initial (root) key group to this server at bootstrap.
+
+        Root entries have ParentID = −1 (``None``); consolidation never
+        collapses past them.
+        """
+        self._table.add_entry(ServerTableEntry(group=group, parent_id=None))
+
+    def accept_keygroup(self, message: AcceptKeyGroup, queries: list[Query] | None = None) -> None:
+        """Accept responsibility for a key group shed by an overloaded peer.
+
+        Acceptance is mandatory (Section 5); the receiving server may later
+        split the group further if it is itself overloaded.
+        """
+        self._table.add_entry(
+            ServerTableEntry(group=message.group, parent_id=message.parent_server)
+        )
+        if queries:
+            self._queries.add_all(queries)
+
+    def accept_keygroup_back(self, group: KeyGroup, queries: list[Query] | None = None) -> None:
+        """Re-absorb a consolidated child group's state (parent side of a merge)."""
+        if queries:
+            self._queries.add_all(queries)
+        self.merges_performed += 1
+        self._table.record_consolidation(group)
+
+    def release_group(self, group: KeyGroup) -> list[Query]:
+        """Give up an active group during consolidation (child side of a merge).
+
+        Removes the table entry and returns the queries that must migrate back
+        to the parent.
+        """
+        entry = self._table.entry(group)
+        if not entry.active:
+            raise ValueError(f"cannot release group {group}: it has been split further")
+        queries = self._queries.extract_group(group)
+        self._table.remove_entry(group)
+        self._group_rates.pop(group, None)
+        return queries
+
+    # ------------------------------------------------------------------ #
+    # The ACCEPT_OBJECT handler (paper cases a, b, c)
+    # ------------------------------------------------------------------ #
+
+    def handle_accept_object(self, message: AcceptObject) -> AcceptObjectReply:
+        """Respond to an object presented with an estimated depth."""
+        key = message.key
+        matching = self._table.active_group_for(key)
+        if matching is not None:
+            if matching.depth == message.estimated_depth:
+                # Case (a): the client guessed the right depth.
+                status = ReplyStatus.OK
+            else:
+                # Case (b): wrong depth, but the object still belongs here.
+                status = ReplyStatus.OK_CORRECTED_DEPTH
+            return AcceptObjectReply(
+                status=status, server=self._name, correct_depth=matching.depth
+            )
+        # Case (c): this server is not responsible for the object.
+        return AcceptObjectReply(
+            status=ReplyStatus.INCORRECT_DEPTH,
+            server=self._name,
+            longest_prefix_match=self._table.longest_prefix_match(key),
+        )
+
+    def store_query(self, query: Query) -> None:
+        """Store a persistent query (the object type that survives splits)."""
+        if self._table.active_group_for(query.key) is None:
+            raise ValueError(
+                f"{self._name} does not manage a group containing key {query.key}"
+            )
+        self._queries.add(query)
+
+    # ------------------------------------------------------------------ #
+    # Splitting (overload)
+    # ------------------------------------------------------------------ #
+
+    def choose_group_to_split(self) -> KeyGroup | None:
+        """Pick the group to shed according to the split policy."""
+        loads = {group: info.load for group, info in self.group_loads().items()}
+        if not loads:
+            return None
+        return self._split_policy.select(loads, self._config.effective_max_depth)
+
+    def perform_split(
+        self, group: KeyGroup, right_child_server: str
+    ) -> tuple[KeyGroup, KeyGroup, list[Query]]:
+        """Split ``group`` and extract the state migrating to the right child.
+
+        Returns ``(left, right, migrated_queries)``.  The caller (the
+        :class:`~repro.core.protocol.ClashSystem`) is responsible for
+        delivering the ``ACCEPT_KEYGROUP`` message and the queries to the
+        right-child server.
+        """
+        rate = self._group_rates.pop(group, 0.0)
+        left, right = self._table.record_split(group, right_child_server)
+        migrated = self._queries.extract_group(right)
+        # Until fresh measurements arrive, attribute half the parent's rate to
+        # the remaining left child (the key space halves under a split).
+        self._group_rates[left] = rate / 2.0
+        self.splits_performed += 1
+        return left, right, migrated
+
+    def perform_local_split(self, group: KeyGroup) -> tuple[KeyGroup, KeyGroup]:
+        """Split ``group`` but keep both children on this server.
+
+        Used when the DHT maps the right child back to the splitting server
+        itself (Section 5's self-collision case): the server records the split
+        and immediately retries by splitting the right child again.
+        """
+        rate = self._group_rates.pop(group, 0.0)
+        left, right = self._table.record_split(group, right_child_server=self._name)
+        self._table.add_entry(ServerTableEntry(group=right, parent_id=SELF_PARENT))
+        self._group_rates[left] = rate / 2.0
+        self._group_rates[right] = rate / 2.0
+        self.splits_performed += 1
+        return left, right
+
+    # ------------------------------------------------------------------ #
+    # Consolidation (underload, bottom-up)
+    # ------------------------------------------------------------------ #
+
+    def choose_group_to_consolidate(self) -> KeyGroup | None:
+        """Pick the cold leaf group to report to its parent (merge policy)."""
+        loads = {group: info.load for group, info in self.group_loads().items()}
+        if not loads:
+            return None
+        return self._merge_policy.select(
+            loads, cold_threshold=0.5 * self._config.underload_load, min_depth=self._config.min_depth
+        )
+
+    def build_load_reports(self) -> list[LoadReport]:
+        """Load reports for every active leaf group whose parent lives elsewhere.
+
+        These are the periodic leaf → parent messages that drive bottom-up
+        consolidation.
+        """
+        reports = []
+        loads = self.group_loads()
+        for group, info in loads.items():
+            entry = self._table.entry(group)
+            if entry.parent_id in (None, SELF_PARENT):
+                continue
+            reports.append(
+                LoadReport(group=group, child_server=self._name, load=info.load)
+            )
+        return reports
+
+    def receive_load_report(self, report: LoadReport) -> None:
+        """Record a child's load report for the current interval."""
+        self._child_reports[report.group] = report
+
+    def consolidation_candidates(self) -> list[KeyGroup]:
+        """Inactive parent groups whose two children are currently both cold.
+
+        The left child is held locally (its load is measured directly).  The
+        right child's load comes from the most recent
+        :class:`~repro.core.messages.LoadReport` — or, when the right child is
+        also held locally (the self-collision case of Section 5), from the
+        local measurement.  A parent group qualifies when the combined child
+        load is below the underload threshold *and* absorbing the right child
+        would not push this server over the overload threshold — without the
+        second condition a split performed to relieve overload would be undone
+        at the next check, producing a split/merge oscillation.
+        """
+        candidates: list[KeyGroup] = []
+        local_loads = self.group_loads()
+        total_load = sum(info.load for info in local_loads.values())
+        for entry in self._table.entries():
+            if entry.active:
+                continue
+            parent_group = entry.group
+            left, right = parent_group.split()
+            if left not in self._table or not self._table.entry(left).active:
+                continue
+            left_load = local_loads[left].load if left in local_loads else 0.0
+            right_is_local = right in self._table and self._table.entry(right).active
+            if right_is_local:
+                right_load = local_loads[right].load if right in local_loads else 0.0
+            else:
+                report = self._child_reports.get(right)
+                if report is None:
+                    continue
+                right_load = report.load
+            if not self._load_model.siblings_mergeable(left_load, right_load):
+                continue
+            added_load = 0.0 if right_is_local else right_load
+            if self._load_model.is_overloaded(total_load + added_load):
+                continue
+            candidates.append(parent_group)
+        return sorted(candidates, key=lambda group: -group.depth)
+
+    def build_release_request(self, parent_group: KeyGroup) -> ReleaseKeyGroup:
+        """The request a parent sends to the right-child server during a merge."""
+        entry = self._table.entry(parent_group)
+        if entry.active:
+            raise ValueError(f"group {parent_group} is active; nothing to consolidate")
+        if entry.right_child_id is None:
+            raise ValueError(f"group {parent_group} has no recorded right child")
+        _left, right = parent_group.split()
+        return ReleaseKeyGroup(group=right, child_server=entry.right_child_id)
+
+    # ------------------------------------------------------------------ #
+    # Reporting
+    # ------------------------------------------------------------------ #
+
+    def describe(self) -> dict[str, object]:
+        """Snapshot of the server, convenient for examples and debugging."""
+        return {
+            "name": self._name,
+            "active_groups": [group.wildcard() for group in self.active_groups()],
+            "load_percent": self.load_percent(),
+            "stored_queries": len(self._queries),
+            "splits_performed": self.splits_performed,
+            "merges_performed": self.merges_performed,
+        }

@@ -1,0 +1,260 @@
+"""The per-server table of key groups (Figure 2 of the paper).
+
+Each CLASH server maintains only local state: one :class:`ServerTableEntry`
+per key group it currently manages or has split in the past.  The entry fields
+mirror Figure 2 exactly:
+
+=================  ======================================================
+Field              Meaning
+=================  ======================================================
+VirtualKeyGroup    The key group (virtual key + depth).
+Depth              Redundant with the group, kept for fidelity.
+ParentID           Server managing the parent group; ``"self"`` when this
+                   server split the parent itself; ``None`` (the paper's −1)
+                   for root entries, which stop consolidation from
+                   collapsing below a configured minimum depth.
+RightChildID       Server that accepted the right-child group when this
+                   entry was split; ``None`` while the entry is a leaf.
+Active             True when the entry is a leaf of the logical tree, i.e.
+                   this server is *currently* aggregating keys under it.
+=================  ======================================================
+
+The table's central invariant is that the **active** entries of all servers
+taken together form a prefix-free cover of the key space — no active group is
+an ancestor of another active group.  Locally the table enforces the part of
+the invariant it can see, and the property-based tests check the global
+version through :class:`~repro.core.protocol.ClashSystem`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.keys.identifier import IdentifierKey
+from repro.keys.keygroup import KeyGroup
+
+__all__ = ["ServerTableEntry", "ServerTable", "SELF_PARENT"]
+
+SELF_PARENT = "self"
+"""ParentID marker meaning "this server split the parent group itself"."""
+
+
+@dataclass
+class ServerTableEntry:
+    """One row of a server's work table (Figure 2).
+
+    Attributes:
+        group: The virtual key group this row describes.
+        parent_id: Name of the server managing the parent group, ``"self"``
+            if this server split the parent itself, or ``None`` for a root
+            entry (the paper's ParentID = −1).
+        right_child_id: Name of the server that accepted the right child when
+            this row was split; ``None`` while the row is active (a leaf).
+        active: True if this row is a leaf of the logical splitting tree.
+    """
+
+    group: KeyGroup
+    parent_id: str | None
+    right_child_id: str | None = None
+    active: bool = True
+
+    @property
+    def depth(self) -> int:
+        """The group's depth (the table's Depth column)."""
+        return self.group.depth
+
+    @property
+    def is_root(self) -> bool:
+        """True for root entries (ParentID = −1 in the paper)."""
+        return self.parent_id is None
+
+    def describe(self) -> dict[str, object]:
+        """Plain-dict view matching the paper's column layout."""
+        return {
+            "VirtualKeyGroup": self.group.wildcard(),
+            "Depth": self.depth,
+            "ParentID": self.parent_id if self.parent_id is not None else -1,
+            "RightChildID": self.right_child_id if self.right_child_id is not None else "-",
+            "Active": "Y" if self.active else "N",
+        }
+
+
+class ServerTable:
+    """The set of key-group rows a single server knows about.
+
+    Args:
+        key_bits: Identifier key width N; all groups stored must use it.
+    """
+
+    def __init__(self, key_bits: int) -> None:
+        if key_bits <= 0:
+            raise ValueError(f"key_bits must be positive, got {key_bits}")
+        self._key_bits = key_bits
+        self._entries: dict[KeyGroup, ServerTableEntry] = {}
+
+    # ------------------------------------------------------------------ #
+    # Basic access
+    # ------------------------------------------------------------------ #
+
+    @property
+    def key_bits(self) -> int:
+        """Identifier key width the table operates over."""
+        return self._key_bits
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, group: KeyGroup) -> bool:
+        return group in self._entries
+
+    def entries(self) -> list[ServerTableEntry]:
+        """All rows, sorted by virtual key then depth (stable for reporting)."""
+        return [self._entries[group] for group in sorted(self._entries)]
+
+    def entry(self, group: KeyGroup) -> ServerTableEntry:
+        """The row for ``group`` (raises :class:`KeyError` if absent)."""
+        if group not in self._entries:
+            raise KeyError(f"no table entry for group {group}")
+        return self._entries[group]
+
+    def active_groups(self) -> list[KeyGroup]:
+        """The groups this server currently manages (the leaves)."""
+        return sorted(group for group, entry in self._entries.items() if entry.active)
+
+    def inactive_groups(self) -> list[KeyGroup]:
+        """Previously split groups retained as interior bookkeeping rows."""
+        return sorted(group for group, entry in self._entries.items() if not entry.active)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def add_entry(self, entry: ServerTableEntry) -> None:
+        """Insert a new row, enforcing local invariants.
+
+        A new *active* row may not be an ancestor or descendant of an existing
+        active row: a server never simultaneously aggregates keys under both a
+        group and one of its sub-groups.
+        """
+        group = entry.group
+        if group.width != self._key_bits:
+            raise ValueError(
+                f"group width {group.width} does not match table key_bits {self._key_bits}"
+            )
+        if group in self._entries:
+            raise ValueError(f"group {group} already has a table entry")
+        if entry.active:
+            for existing_group, existing in self._entries.items():
+                if not existing.active:
+                    continue
+                if existing_group.overlaps(group):
+                    raise ValueError(
+                        f"active group {group} overlaps existing active group {existing_group}"
+                    )
+        self._entries[group] = entry
+
+    def remove_entry(self, group: KeyGroup) -> ServerTableEntry:
+        """Remove and return the row for ``group``."""
+        if group not in self._entries:
+            raise KeyError(f"no table entry for group {group}")
+        return self._entries.pop(group)
+
+    def record_split(self, group: KeyGroup, right_child_server: str) -> tuple[KeyGroup, KeyGroup]:
+        """Record that ``group`` was split and its right child shipped away.
+
+        The row for ``group`` becomes inactive with ``RightChildID`` set; a new
+        active row is created for the left child with ``ParentID = "self"``.
+        Returns the (left, right) child groups.
+        """
+        entry = self.entry(group)
+        if not entry.active:
+            raise ValueError(f"cannot split inactive group {group}")
+        left, right = group.split()
+        entry.active = False
+        entry.right_child_id = right_child_server
+        self.add_entry(ServerTableEntry(group=left, parent_id=SELF_PARENT))
+        return left, right
+
+    def record_consolidation(self, parent_group: KeyGroup) -> KeyGroup:
+        """Record that the children of ``parent_group`` were merged back.
+
+        The left child's row (held locally) is removed, the parent row becomes
+        active again and its ``RightChildID`` is cleared.  Returns the left
+        child group that was removed.
+        """
+        entry = self.entry(parent_group)
+        if entry.active:
+            raise ValueError(f"group {parent_group} is already active; nothing to consolidate")
+        left, _right = parent_group.split()
+        if left not in self._entries:
+            raise KeyError(
+                f"cannot consolidate {parent_group}: left child {left} is not in the table"
+            )
+        left_entry = self._entries[left]
+        if not left_entry.active:
+            raise ValueError(
+                f"cannot consolidate {parent_group}: left child {left} has itself been split"
+            )
+        self.remove_entry(left)
+        entry.active = True
+        entry.right_child_id = None
+        return left
+
+    # ------------------------------------------------------------------ #
+    # Queries used by the ACCEPT_OBJECT handler
+    # ------------------------------------------------------------------ #
+
+    def active_group_for(self, key: IdentifierKey) -> KeyGroup | None:
+        """The active group containing ``key``, or ``None`` if no leaf matches.
+
+        At most one active group can match because active groups are mutually
+        prefix-free.
+        """
+        if key.width != self._key_bits:
+            raise ValueError(
+                f"key width {key.width} does not match table key_bits {self._key_bits}"
+            )
+        for group, entry in self._entries.items():
+            if entry.active and group.contains_key(key):
+                return group
+        return None
+
+    def longest_prefix_match(self, key: IdentifierKey) -> int:
+        """The longest common prefix between ``key`` and any table row.
+
+        This is the ``d_min`` value an ``INCORRECT_DEPTH`` reply carries; the
+        client uses it to narrow its binary search.  Inactive rows count too —
+        they tell the client that the group has been split to a greater depth.
+        """
+        if key.width != self._key_bits:
+            raise ValueError(
+                f"key width {key.width} does not match table key_bits {self._key_bits}"
+            )
+        best = 0
+        for group in self._entries:
+            virtual = group.virtual_key
+            match = min(key.common_prefix_length(virtual), group.depth)
+            best = max(best, match)
+        return best
+
+    # ------------------------------------------------------------------ #
+    # Invariant checking (used heavily by the test-suite)
+    # ------------------------------------------------------------------ #
+
+    def check_invariants(self) -> None:
+        """Raise :class:`AssertionError` if any local invariant is violated."""
+        active = [group for group, entry in self._entries.items() if entry.active]
+        for index, group in enumerate(active):
+            for other in active[index + 1 :]:
+                assert not group.overlaps(other), (
+                    f"active groups {group} and {other} overlap"
+                )
+        for group, entry in self._entries.items():
+            if not entry.active:
+                assert entry.right_child_id is not None, (
+                    f"inactive group {group} must record its right child"
+                )
+
+    def describe(self) -> list[dict[str, object]]:
+        """The table rendered as Figure 2-style rows (list of plain dicts)."""
+        return [entry.describe() for entry in self.entries()]

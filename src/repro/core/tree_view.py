@@ -1,0 +1,123 @@
+"""Rendering of the logical splitting tree and of server work tables.
+
+The paper illustrates CLASH with two structural figures: Figure 1 shows the
+logical binary tree produced by a sequence of splits (annotated with the
+server managing each leaf), and Figure 2 shows one server's work table.  This
+module renders both from live protocol state, so examples, documentation and
+the Figure 1/2 reproduction benchmark can print the same pictures for any
+deployment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.protocol import ClashSystem
+from repro.core.server_table import ServerTable
+from repro.keys.keygroup import KeyGroup
+
+__all__ = ["SplitTreeNode", "build_split_tree", "render_split_tree", "render_server_table"]
+
+
+@dataclass
+class SplitTreeNode:
+    """A node of the logical splitting tree.
+
+    Attributes:
+        group: The key group this node represents.
+        owner: Name of the managing server for leaves, ``None`` for interior
+            nodes (which are no longer actively managed by anyone).
+        children: The (left, right) children, empty for leaves.
+    """
+
+    group: KeyGroup
+    owner: str | None = None
+    children: list["SplitTreeNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        """True if the node is an active key group (a leaf of the logical tree)."""
+        return not self.children
+
+    def leaves(self) -> list["SplitTreeNode"]:
+        """All leaf nodes below (and including) this node, left to right."""
+        if self.is_leaf:
+            return [self]
+        result: list[SplitTreeNode] = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
+
+    def depth_span(self) -> tuple[int, int]:
+        """(minimum, maximum) leaf depth in this subtree."""
+        depths = [leaf.group.depth for leaf in self.leaves()]
+        return min(depths), max(depths)
+
+
+def build_split_tree(system: ClashSystem, root: KeyGroup) -> SplitTreeNode:
+    """Build the logical splitting tree under ``root`` from a system's active groups.
+
+    ``root`` may be any group; the tree descends until every branch reaches an
+    active key group.  Raises :class:`LookupError` if some part of ``root`` is
+    not covered by any active group (which would violate the protocol
+    invariant).
+    """
+    active = system.active_groups()
+    if root in active:
+        return SplitTreeNode(group=root, owner=active[root])
+    if root.depth >= root.width:
+        raise LookupError(f"no active key group covers {root}")
+    left, right = root.split()
+    node = SplitTreeNode(group=root, owner=None)
+    node.children = [build_split_tree(system, left), build_split_tree(system, right)]
+    return node
+
+
+def render_split_tree(node: SplitTreeNode, indent: str = "") -> str:
+    """Render a splitting tree as an indented ASCII diagram (Figure 1 style).
+
+    Leaves are annotated with the managing server; interior nodes show the
+    group that was split.
+    """
+    if node.is_leaf:
+        label = f"{node.group.wildcard()}  (depth={node.group.depth})  -> {node.owner}"
+    else:
+        label = f"{node.group.wildcard()}  (depth={node.group.depth})  [split]"
+    lines = [indent + label]
+    for index, child in enumerate(node.children):
+        connector = "|-- " if index == 0 else "`-- "
+        child_text = render_split_tree(child, indent + "    ")
+        child_lines = child_text.splitlines()
+        lines.append(indent + connector + child_lines[0].strip())
+        lines.extend(child_lines[1:])
+    return "\n".join(lines)
+
+
+def render_server_table(table: ServerTable, server_name: str) -> str:
+    """Render a server's work table in the layout of Figure 2."""
+    headers = ["No.", "VirtualKeyGroup", "Depth", "ParentID", "RightChildID", "Active"]
+    rows = []
+    for index, entry in enumerate(table.entries(), start=1):
+        description = entry.describe()
+        rows.append(
+            [
+                str(index),
+                str(description["VirtualKeyGroup"]),
+                str(description["Depth"]),
+                str(description["ParentID"]),
+                str(description["RightChildID"]),
+                str(description["Active"]),
+            ]
+        )
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = [f"Server work table for {server_name}"]
+    lines.append(
+        " | ".join(header.ljust(widths[column]) for column, header in enumerate(headers))
+    )
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(widths[column]) for column, cell in enumerate(row)))
+    return "\n".join(lines)

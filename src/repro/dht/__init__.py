@@ -1,0 +1,37 @@
+"""Chord DHT substrate.
+
+The paper's simulator extends the MIT Chord simulator; this package is the
+equivalent substrate in Python.  It provides:
+
+* :class:`~repro.dht.hashspace.HashSpace` — modular ring arithmetic over an
+  M-bit hash space.
+* :class:`~repro.dht.node.ChordNode` — a single server node with a finger
+  table, predecessor pointer and successor list.
+* :class:`~repro.dht.ring.ChordRing` — the overlay: node join/leave,
+  deterministic finger (re)building, and iterative ``find_successor`` lookup
+  with per-hop accounting (the paper's O(log S) bound).
+* :class:`~repro.dht.virtualservers.VirtualServerAllocator` — the
+  "log S virtual servers per physical node" technique from Chord/CFS.
+* :class:`~repro.dht.replication.ReplicationManager` — successor-list object
+  replication (the fault-tolerance mechanism basic DHTs rely on).
+
+CLASH layers on top of this package without modifying it — exactly the
+paper's claim that CLASH "operates in the identifier key space, leaving the
+base DHT protocol unchanged".
+"""
+
+from repro.dht.hashspace import HashSpace
+from repro.dht.node import ChordNode
+from repro.dht.replication import ReplicationManager
+from repro.dht.ring import ChordRing, LookupResult
+from repro.dht.virtualservers import PhysicalServer, VirtualServerAllocator
+
+__all__ = [
+    "HashSpace",
+    "ChordNode",
+    "ChordRing",
+    "LookupResult",
+    "VirtualServerAllocator",
+    "PhysicalServer",
+    "ReplicationManager",
+]

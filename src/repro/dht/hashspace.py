@@ -1,0 +1,109 @@
+"""Modular arithmetic over an M-bit circular hash space.
+
+Chord arranges both node identifiers and object hash keys on a ring of size
+``2**M``.  All interval and distance computations must respect the wrap-around
+at zero; centralising them here keeps the routing code free of off-by-one
+errors and makes the properties easy to verify with hypothesis.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive, check_type
+
+__all__ = ["HashSpace"]
+
+
+class HashSpace:
+    """The circular identifier space ``[0, 2**bits)`` used by Chord.
+
+    Args:
+        bits: Width M of the hash space.  The paper's simulations use a 24-bit
+            hash space; production Chord uses 160 bits.  All methods work for
+            any positive width.
+    """
+
+    def __init__(self, bits: int) -> None:
+        check_type("bits", bits, int)
+        check_positive("bits", bits)
+        self._bits = bits
+        self._size = 1 << bits
+
+    @property
+    def bits(self) -> int:
+        """Width of the hash space in bits."""
+        return self._bits
+
+    @property
+    def size(self) -> int:
+        """Number of points on the ring (``2**bits``)."""
+        return self._size
+
+    def contains(self, value: int) -> bool:
+        """True if ``value`` is a valid point on the ring."""
+        return isinstance(value, int) and not isinstance(value, bool) and 0 <= value < self._size
+
+    def check_member(self, name: str, value: int) -> None:
+        """Raise :class:`ValueError` unless ``value`` is a valid ring point."""
+        if not self.contains(value):
+            raise ValueError(
+                f"{name} must be an integer in [0, {self._size}), got {value!r}"
+            )
+
+    def normalise(self, value: int) -> int:
+        """Reduce an arbitrary integer onto the ring (mod ``2**bits``)."""
+        return value % self._size
+
+    def add(self, value: int, delta: int) -> int:
+        """Ring addition: ``(value + delta) mod 2**bits``."""
+        self.check_member("value", value)
+        return (value + delta) % self._size
+
+    def distance(self, start: int, end: int) -> int:
+        """Clockwise distance from ``start`` to ``end``."""
+        self.check_member("start", start)
+        self.check_member("end", end)
+        return (end - start) % self._size
+
+    def in_open_interval(self, value: int, start: int, end: int) -> bool:
+        """True if ``value`` lies in the clockwise-open interval ``(start, end)``.
+
+        When ``start == end`` the interval covers the whole ring except the
+        single point ``start`` (standard Chord convention).
+        """
+        self.check_member("value", value)
+        self.check_member("start", start)
+        self.check_member("end", end)
+        if start == end:
+            return value != start
+        if start < end:
+            return start < value < end
+        return value > start or value < end
+
+    def in_half_open_interval(self, value: int, start: int, end: int) -> bool:
+        """True if ``value`` lies in the clockwise interval ``(start, end]``.
+
+        This is the interval Chord uses for successor ownership: the node with
+        identifier ``end`` owns every key in ``(predecessor, end]``.  When
+        ``start == end`` the interval is the whole ring.
+        """
+        self.check_member("value", value)
+        self.check_member("start", start)
+        self.check_member("end", end)
+        if start == end:
+            return True
+        if start < end:
+            return start < value <= end
+        return value > start or value <= end
+
+    def finger_start(self, node_id: int, finger_index: int) -> int:
+        """The start of finger ``finger_index`` for ``node_id``.
+
+        Chord finger ``i`` (0-based) of node ``n`` points at the successor of
+        ``n + 2**i``.
+        """
+        self.check_member("node_id", node_id)
+        if not 0 <= finger_index < self._bits:
+            raise ValueError(
+                f"finger_index must be in [0, {self._bits}), got {finger_index}"
+            )
+        return (node_id + (1 << finger_index)) % self._size

@@ -1,0 +1,107 @@
+"""Successor-list replication for objects stored in the DHT.
+
+Basic DHTs obtain fault tolerance by replicating each object on the ``r``
+nodes following its owner on the ring (Section 1.2 of the paper notes that
+"most implementations employ replication for fault tolerance").  CLASH itself
+does not change this mechanism, but the substrate provides it so that the
+examples can demonstrate object survival across node failures.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.dht.ring import ChordRing
+from repro.keys.identifier import IdentifierKey
+from repro.util.validation import check_positive, check_type
+
+__all__ = ["ReplicationManager"]
+
+
+class ReplicationManager:
+    """Store objects on a Chord ring with ``replica_count`` successor replicas.
+
+    The manager tracks, per node, which object keys it holds (primary or
+    replica), and can re-replicate after a node failure — the behaviour a
+    downstream user of the substrate would expect from a DHT storage layer.
+    """
+
+    def __init__(self, ring: ChordRing, replica_count: int = 2) -> None:
+        check_type("ring", ring, ChordRing)
+        check_type("replica_count", replica_count, int)
+        check_positive("replica_count", replica_count)
+        self._ring = ring
+        self._replica_count = replica_count
+        self._objects: dict[int, object] = {}
+        self._placement: dict[int, list[str]] = {}
+
+    @property
+    def replica_count(self) -> int:
+        """Number of copies stored per object (primary + replicas)."""
+        return self._replica_count
+
+    def _replica_set(self, hash_key: int) -> list[str]:
+        owner = self._ring.owner_of(hash_key)
+        owner_node = self._ring.node(owner)
+        names = [owner]
+        for successor_id in owner_node.successor_list:
+            name = self._ring.node(self._name_for_id(successor_id)).name
+            if name not in names:
+                names.append(name)
+            if len(names) >= self._replica_count:
+                break
+        return names[: self._replica_count]
+
+    def _name_for_id(self, node_id: int) -> str:
+        for name in self._ring.node_names():
+            if self._ring.node(name).node_id == node_id:
+                return name
+        raise KeyError(f"no node with id {node_id}")
+
+    def store(self, key: IdentifierKey, value: object) -> list[str]:
+        """Store an object and return the names of the nodes holding copies."""
+        hash_key = self._ring.hash_function.hash_key(key)
+        replicas = self._replica_set(hash_key)
+        self._objects[hash_key] = value
+        self._placement[hash_key] = replicas
+        return list(replicas)
+
+    def fetch(self, key: IdentifierKey) -> object:
+        """Retrieve an object (raises :class:`KeyError` if it was never stored)."""
+        hash_key = self._ring.hash_function.hash_key(key)
+        if hash_key not in self._objects:
+            raise KeyError(f"no object stored under key {key}")
+        return self._objects[hash_key]
+
+    def holders(self, key: IdentifierKey) -> list[str]:
+        """Names of the nodes currently holding copies of the object."""
+        hash_key = self._ring.hash_function.hash_key(key)
+        if hash_key not in self._placement:
+            raise KeyError(f"no object stored under key {key}")
+        return list(self._placement[hash_key])
+
+    def objects_per_node(self) -> dict[str, int]:
+        """Number of object copies held by each node."""
+        counts: dict[str, int] = defaultdict(int)
+        for replicas in self._placement.values():
+            for name in replicas:
+                counts[name] += 1
+        return dict(counts)
+
+    def handle_node_failure(self, name: str) -> int:
+        """Remove a node and re-replicate every object it held.
+
+        Returns the number of objects that had to be re-replicated.  Objects
+        remain available provided fewer than ``replica_count`` holders failed
+        simultaneously — the property the tests assert.
+        """
+        if name not in self._ring:
+            raise KeyError(f"node {name!r} is not in the ring")
+        self._ring.remove_node(name)
+        self._ring.stabilise()
+        repaired = 0
+        for hash_key, replicas in list(self._placement.items()):
+            if name in replicas:
+                self._placement[hash_key] = self._replica_set(hash_key)
+                repaired += 1
+        return repaired

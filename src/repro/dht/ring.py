@@ -1,0 +1,312 @@
+"""The Chord overlay ring: membership, finger construction and lookups.
+
+The ring supports the operations CLASH needs from the base DHT:
+
+* ``add_node`` / ``remove_node`` — decentralised membership changes, after
+  which finger tables and successor lists are rebuilt (the equivalent of
+  Chord's stabilisation converging).
+* ``find_successor(key)`` — the ``Map()`` primitive: returns the node that
+  owns a hash key, along with the routing path and hop count so that the
+  simulator can charge realistic O(log S) message costs.
+* ``lookup_key(identifier_key)`` — convenience composition of the hash
+  function ``f()`` and ``Map()``.
+
+The implementation follows the Chord paper's iterative lookup: starting from
+any node, repeatedly forward to the closest preceding finger until the key's
+owner is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dht.hashspace import HashSpace
+from repro.dht.node import ChordNode
+from repro.keys.hashing import Sha1HashFunction
+from repro.keys.identifier import IdentifierKey
+from repro.util.rng import RandomStream
+from repro.util.validation import check_positive, check_type
+
+__all__ = ["ChordRing", "LookupResult"]
+
+DEFAULT_SUCCESSOR_LIST_LENGTH = 4
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of a DHT lookup.
+
+    Attributes:
+        key: The hash key that was looked up.
+        owner: Name of the node that owns the key.
+        hops: Number of overlay forwarding hops taken (0 if the starting node
+            already owned the key).
+        path: Names of the nodes traversed, starting node first, owner last.
+    """
+
+    key: int
+    owner: str
+    hops: int
+    path: tuple[str, ...] = field(default_factory=tuple)
+
+
+class ChordRing:
+    """A Chord overlay over a set of named server nodes.
+
+    Args:
+        space: The M-bit hash space nodes and keys live in.
+        hash_function: Hash used both for placing object keys and for deriving
+            node identifiers from node names (unless explicit ids are given).
+        successor_list_length: Length of each node's successor list.
+    """
+
+    def __init__(
+        self,
+        space: HashSpace,
+        hash_function: Sha1HashFunction | None = None,
+        successor_list_length: int = DEFAULT_SUCCESSOR_LIST_LENGTH,
+    ) -> None:
+        check_type("space", space, HashSpace)
+        check_type("successor_list_length", successor_list_length, int)
+        check_positive("successor_list_length", successor_list_length)
+        if hash_function is None:
+            hash_function = Sha1HashFunction(hash_bits=space.bits)
+        if hash_function.hash_bits != space.bits:
+            raise ValueError(
+                "hash function width "
+                f"({hash_function.hash_bits}) does not match hash space ({space.bits})"
+            )
+        self._space = space
+        self._hash = hash_function
+        self._successor_list_length = successor_list_length
+        self._nodes_by_name: dict[str, ChordNode] = {}
+        self._nodes_by_id: dict[int, ChordNode] = {}
+        self._sorted_ids: list[int] = []
+        self._stale = False
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def space(self) -> HashSpace:
+        """The hash space the ring is built over."""
+        return self._space
+
+    @property
+    def hash_function(self) -> Sha1HashFunction:
+        """The identifier-key → hash-key function used for object placement."""
+        return self._hash
+
+    def __len__(self) -> int:
+        return len(self._nodes_by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes_by_name
+
+    def node_names(self) -> list[str]:
+        """All node names, in ring order."""
+        self._ensure_fresh()
+        return [self._nodes_by_id[node_id].name for node_id in self._sorted_ids]
+
+    def node(self, name: str) -> ChordNode:
+        """The node with the given name (raises :class:`KeyError` if absent)."""
+        return self._nodes_by_name[name]
+
+    def node_ids(self) -> list[int]:
+        """All node identifiers in increasing ring order."""
+        self._ensure_fresh()
+        return list(self._sorted_ids)
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+
+    def add_node(self, name: str, node_id: int | None = None) -> ChordNode:
+        """Add a node to the ring.
+
+        The node id defaults to the hash of the node name, matching Chord's
+        practice of hashing a node's address.  Collisions (two names hashing to
+        the same ring point) are rejected.
+        """
+        check_type("name", name, str)
+        if not name:
+            raise ValueError("node name must be non-empty")
+        if name in self._nodes_by_name:
+            raise ValueError(f"node {name!r} is already in the ring")
+        if node_id is None:
+            node_id = self._hash.hash_string(name)
+        self._space.check_member("node_id", node_id)
+        if node_id in self._nodes_by_id:
+            raise ValueError(
+                f"node id {node_id} collides with existing node "
+                f"{self._nodes_by_id[node_id].name!r}"
+            )
+        node = ChordNode(node_id=node_id, name=name)
+        self._nodes_by_name[name] = node
+        self._nodes_by_id[node_id] = node
+        self._stale = True
+        return node
+
+    def add_nodes(self, names: list[str]) -> list[ChordNode]:
+        """Add several nodes then rebuild routing state once."""
+        nodes = [self.add_node(name) for name in names]
+        self.stabilise()
+        return nodes
+
+    def remove_node(self, name: str) -> None:
+        """Remove a node from the ring (its keys fall to its successor)."""
+        node = self._nodes_by_name.pop(name, None)
+        if node is None:
+            raise KeyError(f"node {name!r} is not in the ring")
+        del self._nodes_by_id[node.node_id]
+        self._stale = True
+
+    @classmethod
+    def build(
+        cls,
+        node_count: int,
+        space: HashSpace,
+        hash_function: Sha1HashFunction | None = None,
+        rng: RandomStream | None = None,
+        name_prefix: str = "s",
+    ) -> "ChordRing":
+        """Construct a ring of ``node_count`` nodes named ``s0 .. s{n-1}``.
+
+        Node identifiers are drawn uniformly at random (without collision) when
+        an ``rng`` is supplied, otherwise derived from the node names by
+        hashing.  Random placement matches the paper's simulations, where node
+        ids are effectively uniform on the ring.
+        """
+        check_type("node_count", node_count, int)
+        check_positive("node_count", node_count)
+        ring = cls(space=space, hash_function=hash_function)
+        if node_count > space.size:
+            raise ValueError(
+                f"cannot place {node_count} nodes in a hash space of size {space.size}"
+            )
+        used_ids: set[int] = set()
+        for index in range(node_count):
+            name = f"{name_prefix}{index}"
+            if rng is None:
+                ring.add_node(name)
+            else:
+                node_id = rng.randbits(space.bits)
+                while node_id in used_ids:
+                    node_id = rng.randbits(space.bits)
+                used_ids.add(node_id)
+                ring.add_node(name, node_id=node_id)
+        ring.stabilise()
+        return ring
+
+    # ------------------------------------------------------------------ #
+    # Stabilisation (finger / successor construction)
+    # ------------------------------------------------------------------ #
+
+    def stabilise(self) -> None:
+        """Rebuild successor lists, predecessors and finger tables.
+
+        In a deployed Chord network this state converges gradually through the
+        stabilisation protocol; the simulator rebuilds it deterministically,
+        which yields the same steady-state routing structure.
+        """
+        if not self._nodes_by_name:
+            self._sorted_ids = []
+            self._stale = False
+            return
+        self._sorted_ids = sorted(self._nodes_by_id)
+        count = len(self._sorted_ids)
+        for position, node_id in enumerate(self._sorted_ids):
+            node = self._nodes_by_id[node_id]
+            node.predecessor = self._sorted_ids[(position - 1) % count]
+            successors = [
+                self._sorted_ids[(position + offset) % count]
+                for offset in range(1, min(self._successor_list_length, count) + 1)
+            ]
+            node.successor_list = successors if count > 1 else [node_id]
+            node.fingers = [
+                self._successor_id(self._space.finger_start(node_id, finger_index))
+                for finger_index in range(self._space.bits)
+            ]
+        self._stale = False
+
+    def _ensure_fresh(self) -> None:
+        if self._stale:
+            self.stabilise()
+        if not self._nodes_by_name:
+            raise ValueError("the ring has no nodes")
+
+    def _successor_id(self, key: int) -> int:
+        """The id of the node owning ``key`` (first node clockwise from ``key``)."""
+        ids = self._sorted_ids
+        low, high = 0, len(ids)
+        while low < high:
+            mid = (low + high) // 2
+            if ids[mid] < key:
+                low = mid + 1
+            else:
+                high = mid
+        if low == len(ids):
+            return ids[0]
+        return ids[low]
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+
+    def owner_of(self, key: int) -> str:
+        """Name of the node owning a hash key (no routing simulation)."""
+        self._ensure_fresh()
+        self._space.check_member("key", key)
+        return self._nodes_by_id[self._successor_id(key)].name
+
+    def find_successor(self, key: int, start: str | None = None) -> LookupResult:
+        """Route a lookup for ``key`` through the overlay and return the owner.
+
+        Args:
+            key: Hash key to locate.
+            start: Name of the node initiating the lookup; defaults to the
+                first node in ring order.  Any node may initiate a lookup —
+                this is the "present the object to any server" property of
+                DHTs.
+
+        Returns:
+            A :class:`LookupResult` with the owner and the forwarding path.
+        """
+        self._ensure_fresh()
+        self._space.check_member("key", key)
+        if start is None:
+            start = self._nodes_by_id[self._sorted_ids[0]].name
+        if start not in self._nodes_by_name:
+            raise KeyError(f"start node {start!r} is not in the ring")
+        current = self._nodes_by_name[start]
+        path = [current.name]
+        hops = 0
+        max_hops = 2 * self._space.bits + len(self._sorted_ids)
+        while not current.owns(self._space, key):
+            next_id = current.closest_preceding_finger(self._space, key)
+            if next_id == current.node_id:
+                next_id = current.successor
+            next_node = self._nodes_by_id[next_id]
+            current = next_node
+            path.append(current.name)
+            hops += 1
+            if hops > max_hops:
+                raise RuntimeError(
+                    f"lookup for key {key} did not converge after {hops} hops; "
+                    "the ring routing state is inconsistent"
+                )
+        return LookupResult(key=key, owner=current.name, hops=hops, path=tuple(path))
+
+    def lookup_key(self, key: IdentifierKey, start: str | None = None) -> LookupResult:
+        """Hash an identifier key with ``f()`` and route the resulting hash key."""
+        hash_key = self._hash.hash_key(key)
+        return self.find_successor(hash_key, start=start)
+
+    def expected_hops(self) -> float:
+        """The textbook O(log S) expectation: ``0.5 * log2(S)`` hops per lookup."""
+        self._ensure_fresh()
+        count = len(self._sorted_ids)
+        if count <= 1:
+            return 0.0
+        return 0.5 * (count.bit_length() - 1 + (count & (count - 1) != 0))

@@ -1,0 +1,139 @@
+"""Virtual servers: multiple ring positions per physical server.
+
+Chord [17] proposes running ``log S`` virtual servers per physical node to
+smooth the hash-space partition; CFS [7] extends this by allocating virtual
+servers in proportion to a node's capacity.  Both variants are provided here —
+they are the standard load-balancing techniques CLASH is compared against in
+the related-work discussion, and the virtual-server-migration baseline
+(Rao et al. [13]) builds on this allocator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.dht.hashspace import HashSpace
+from repro.dht.ring import ChordRing
+from repro.keys.hashing import Sha1HashFunction
+from repro.util.rng import RandomStream
+from repro.util.validation import check_positive, check_type
+
+__all__ = ["PhysicalServer", "VirtualServerAllocator"]
+
+
+@dataclass
+class PhysicalServer:
+    """A physical machine hosting one or more virtual ring nodes.
+
+    Attributes:
+        name: The physical server's name.
+        capacity: Relative processing capacity (1.0 = baseline server).
+        virtual_nodes: Names of the virtual ring nodes hosted on this machine.
+    """
+
+    name: str
+    capacity: float = 1.0
+    virtual_nodes: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        check_type("name", self.name, str)
+        if not self.name:
+            raise ValueError("physical server name must be non-empty")
+        check_positive("capacity", self.capacity)
+
+
+class VirtualServerAllocator:
+    """Build a Chord ring with virtual servers mapped onto physical machines.
+
+    Args:
+        space: Hash space of the underlying ring.
+        virtuals_per_unit_capacity: Number of virtual nodes allocated per unit
+            of capacity.  ``None`` selects the Chord default of
+            ``ceil(log2(#physical servers))`` per unit capacity.
+    """
+
+    def __init__(
+        self,
+        space: HashSpace,
+        virtuals_per_unit_capacity: int | None = None,
+    ) -> None:
+        check_type("space", space, HashSpace)
+        if virtuals_per_unit_capacity is not None:
+            check_type("virtuals_per_unit_capacity", virtuals_per_unit_capacity, int)
+            check_positive("virtuals_per_unit_capacity", virtuals_per_unit_capacity)
+        self._space = space
+        self._virtuals_per_unit = virtuals_per_unit_capacity
+
+    def _virtuals_for(self, server: PhysicalServer, server_count: int) -> int:
+        per_unit = self._virtuals_per_unit
+        if per_unit is None:
+            per_unit = max(1, math.ceil(math.log2(max(2, server_count))))
+        return max(1, round(per_unit * server.capacity))
+
+    def build_ring(
+        self,
+        servers: list[PhysicalServer],
+        hash_function: Sha1HashFunction | None = None,
+        rng: RandomStream | None = None,
+    ) -> ChordRing:
+        """Create the ring, populate it with virtual nodes and stabilise it.
+
+        Each physical server receives a number of virtual nodes proportional
+        to its capacity; virtual node names are ``"<server>#<index>"`` so the
+        owning physical server can always be recovered with
+        :meth:`physical_owner`.
+        """
+        if not servers:
+            raise ValueError("at least one physical server is required")
+        names = {server.name for server in servers}
+        if len(names) != len(servers):
+            raise ValueError("physical server names must be unique")
+        ring = ChordRing(space=self._space, hash_function=hash_function)
+        used_ids: set[int] = set()
+        for server in servers:
+            server.virtual_nodes.clear()
+            for index in range(self._virtuals_for(server, len(servers))):
+                virtual_name = f"{server.name}#{index}"
+                if rng is None:
+                    ring.add_node(virtual_name)
+                else:
+                    node_id = rng.randbits(self._space.bits)
+                    while node_id in used_ids:
+                        node_id = rng.randbits(self._space.bits)
+                    used_ids.add(node_id)
+                    ring.add_node(virtual_name, node_id=node_id)
+                server.virtual_nodes.append(virtual_name)
+        ring.stabilise()
+        return ring
+
+    @staticmethod
+    def physical_owner(virtual_name: str) -> str:
+        """Recover the physical server name from a virtual node name."""
+        owner, separator, _ = virtual_name.partition("#")
+        if not separator:
+            raise ValueError(
+                f"{virtual_name!r} is not a virtual node name (expected '<server>#<index>')"
+            )
+        return owner
+
+    @staticmethod
+    def fraction_of_space(ring: ChordRing, servers: list[PhysicalServer]) -> dict[str, float]:
+        """Fraction of the hash space owned by each physical server.
+
+        Used in tests to verify that virtual servers even out the partition
+        and that capacity-proportional allocation skews ownership towards the
+        larger machines.
+        """
+        space = ring.space
+        ownership: dict[str, float] = {server.name: 0.0 for server in servers}
+        ids = ring.node_ids()
+        for position, node_id in enumerate(ids):
+            predecessor = ids[(position - 1) % len(ids)]
+            arc = space.distance(predecessor, node_id)
+            if len(ids) == 1:
+                arc = space.size
+            virtual_name = ring.node_names()[position]
+            owner = VirtualServerAllocator.physical_owner(virtual_name)
+            ownership[owner] += arc / space.size
+        return ownership

@@ -1,0 +1,44 @@
+"""Experiment drivers that regenerate every figure of the paper's evaluation.
+
+One module per figure:
+
+* :mod:`~repro.experiments.fig3` — the three workload skew profiles.
+* :mod:`~repro.experiments.fig4` — server load, utilisation, active-server
+  count and depth variation for CLASH vs the fixed-depth DHT baselines.
+* :mod:`~repro.experiments.fig5` — CLASH signalling overhead for different
+  virtual-stream lengths, with and without the 50,000 query clients.
+
+Each driver returns a structured result object and can render it as the
+text tables/series recorded in EXPERIMENTS.md.  The drivers accept an
+:class:`~repro.experiments.runner.ExperimentScale` so the same code runs both
+the fast scaled-down configuration used by the benchmark suite and the full
+paper-scale configuration.
+"""
+
+from repro.experiments.fig3 import Figure3Result, run_figure3
+from repro.experiments.fig4 import Figure4Result, run_figure4
+from repro.experiments.fig5 import Figure5Result, run_figure5
+from repro.experiments.runner import ExperimentScale, scaled_setup
+from repro.experiments.reporting import (
+    format_series,
+    format_table,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "scaled_setup",
+    "Figure3Result",
+    "run_figure3",
+    "Figure4Result",
+    "run_figure4",
+    "Figure5Result",
+    "run_figure5",
+    "format_table",
+    "format_series",
+    "render_figure3",
+    "render_figure4",
+    "render_figure5",
+]

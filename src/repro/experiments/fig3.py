@@ -1,0 +1,92 @@
+"""Experiment E1 — Figure 3: the three workload skew profiles.
+
+The figure plots, for workloads A, B and C, how many of the client nodes pick
+each of the 2^8 base-key values.  The driver reports both the analytic
+expectation (what the figure draws) and an empirical sample drawn through the
+actual key generator, so the test-suite can check that the generator really
+produces the intended skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.keys.identifier import RandomKeyGenerator
+from repro.util.rng import RandomStream
+from repro.util.validation import check_positive, check_type
+from repro.workload.distributions import (
+    WorkloadSpec,
+    skew_statistics,
+    workload_a,
+    workload_b,
+    workload_c,
+)
+
+__all__ = ["Figure3Result", "run_figure3"]
+
+
+@dataclass
+class Figure3Result:
+    """Expected and sampled base-value counts per workload.
+
+    Attributes:
+        population: Number of clients the counts are scaled to.
+        workload_names: Workload labels in presentation order.
+        counts: Expected number of clients per base value (the Figure 3 curves).
+        sampled_counts: Empirical counts from drawing ``sample_size`` keys.
+        skew: Skew statistics per workload (max/mean ratio, hottest share, entropy).
+    """
+
+    population: int
+    workload_names: list[str] = field(default_factory=list)
+    counts: dict[str, list[float]] = field(default_factory=dict)
+    sampled_counts: dict[str, list[int]] = field(default_factory=dict)
+    skew: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def hottest_value(self, workload: str) -> int:
+        """The base value with the highest expected client count."""
+        values = self.counts[workload]
+        return max(range(len(values)), key=lambda index: values[index])
+
+
+def run_figure3(
+    population: int = 100_000,
+    sample_size: int = 20_000,
+    base_bits: int = 8,
+    key_bits: int = 24,
+    seed: int = 20040324,
+    specs: list[WorkloadSpec] | None = None,
+) -> Figure3Result:
+    """Regenerate the Figure 3 workload profiles.
+
+    Args:
+        population: Client population the expected counts are scaled to
+            (100,000 in the paper).
+        sample_size: Number of keys sampled per workload for the empirical
+            histogram.
+        base_bits: Width of the skewed base portion (8 in the paper).
+        key_bits: Total identifier key width (24 in the paper).
+        seed: Seed for the empirical sampling.
+        specs: Override the workloads (defaults to A, B and C).
+    """
+    check_type("population", population, int)
+    check_positive("population", population)
+    check_type("sample_size", sample_size, int)
+    check_positive("sample_size", sample_size)
+    if specs is None:
+        specs = [workload_a(base_bits), workload_b(base_bits), workload_c(base_bits)]
+    result = Figure3Result(population=population)
+    rng = RandomStream(seed)
+    for spec in specs:
+        result.workload_names.append(spec.name)
+        result.counts[spec.name] = spec.expected_counts(population)
+        result.skew[spec.name] = skew_statistics(spec)
+        generator = RandomKeyGenerator(
+            width=key_bits, base_bits=spec.base_bits, rng=rng, base_weights=spec.weights
+        )
+        histogram = [0] * (1 << spec.base_bits)
+        for _ in range(sample_size):
+            key = generator.generate()
+            histogram[key.prefix(spec.base_bits)] += 1
+        result.sampled_counts[spec.name] = histogram
+    return result

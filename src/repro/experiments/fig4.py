@@ -1,0 +1,143 @@
+"""Experiments E2–E5 — Figure 4: load distribution, CLASH vs fixed-depth DHT.
+
+Figure 4 has four panels, all produced from the same set of runs:
+
+* maximum server load over time,
+* average server load over time,
+* CLASH tree-depth variation (min / average / max) over time,
+* number of active servers per workload phase.
+
+The driver runs CLASH through :class:`~repro.sim.simulator.FlowSimulator` and
+each requested fixed key length through
+:class:`~repro.baselines.fixed_depth.FixedDepthDhtSimulator` on the identical
+scenario and scale, then exposes the per-period series and per-phase
+summaries the panels plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.fixed_depth import FixedDepthDhtSimulator
+from repro.experiments.runner import ExperimentScale
+from repro.sim.simulator import FlowSimulator, SimulationResult
+from repro.util.stats import TimeSeries
+from repro.util.validation import check_type
+
+__all__ = ["Figure4Result", "run_figure4"]
+
+DEFAULT_FIXED_DEPTHS = (6, 12, 24)
+"""The fixed identifier-key lengths plotted in Figure 4."""
+
+
+@dataclass
+class Figure4Result:
+    """All runs needed to redraw Figure 4.
+
+    Attributes:
+        scale_name: The :class:`ExperimentScale` label the runs used.
+        results: Simulation results keyed by system label ("CLASH", "DHT(6)", …).
+    """
+
+    scale_name: str
+    results: dict[str, SimulationResult] = field(default_factory=dict)
+
+    def labels(self) -> list[str]:
+        """System labels in presentation order (CLASH first)."""
+        ordered = ["CLASH"] if "CLASH" in self.results else []
+        ordered.extend(sorted(label for label in self.results if label != "CLASH"))
+        return ordered
+
+    # ------------------------------------------------------------------ #
+    # Panel accessors
+    # ------------------------------------------------------------------ #
+
+    def max_load_series(self) -> dict[str, TimeSeries]:
+        """Panel 1: maximum server load (% of capacity) over time, per system."""
+        return {
+            label: self.results[label].metrics.series("max_load_percent")
+            for label in self.labels()
+        }
+
+    def avg_load_series(self) -> dict[str, TimeSeries]:
+        """Panel 2: average active-server load (% of capacity) over time."""
+        return {
+            label: self.results[label].metrics.series("avg_load_percent")
+            for label in self.labels()
+        }
+
+    def depth_series(self) -> dict[str, TimeSeries]:
+        """Panel 3: CLASH depth variation (min / avg / max) over time."""
+        return self.results["CLASH"].metrics.depth_series()
+
+    def active_servers_by_phase(self) -> dict[str, dict[str, float]]:
+        """Panel 4: mean active servers per workload phase, per system."""
+        table: dict[str, dict[str, float]] = {}
+        for label in self.labels():
+            table[label] = {
+                phase.workload: phase.mean_active_servers
+                for phase in self.results[label].phase_summaries()
+            }
+        return table
+
+    # ------------------------------------------------------------------ #
+    # Headline comparisons recorded in EXPERIMENTS.md
+    # ------------------------------------------------------------------ #
+
+    def clash_peak_load(self) -> float:
+        """CLASH's worst per-server load over the whole run (% of capacity)."""
+        return self.results["CLASH"].metrics.overall_peak_load()
+
+    def baseline_peak_load(self, label: str) -> float:
+        """A baseline's worst per-server load over the whole run."""
+        return self.results[label].metrics.overall_peak_load()
+
+    def server_utilisation_advantage(self, label: str) -> float:
+        """How many times more servers the baseline drags in than CLASH.
+
+        The paper's headline claim is an ~80 % reduction in physical servers
+        used compared with fine-grained basic DHT.
+        """
+        clash_servers = self._mean_active("CLASH")
+        baseline_servers = self._mean_active(label)
+        if clash_servers == 0:
+            raise ValueError("CLASH run recorded no active servers")
+        return baseline_servers / clash_servers
+
+    def _mean_active(self, label: str) -> float:
+        phases = self.results[label].phase_summaries()
+        return sum(phase.mean_active_servers for phase in phases) / len(phases)
+
+
+def run_figure4(
+    scale: ExperimentScale | None = None,
+    fixed_depths: tuple[int, ...] = DEFAULT_FIXED_DEPTHS,
+    include_clash: bool = True,
+) -> Figure4Result:
+    """Run the Figure 4 comparison at the given scale.
+
+    Args:
+        scale: Experiment scale; defaults to ``ExperimentScale.scaled(10)``.
+        fixed_depths: The ``DHT(x)`` baselines to include.
+        include_clash: Allow skipping the CLASH run when only baseline data is
+            needed (used by a couple of focused tests).
+    """
+    if scale is None:
+        scale = ExperimentScale.scaled(10)
+    check_type("scale", scale, ExperimentScale)
+    config = scale.config()
+    params = scale.params()
+    scenario = scale.scenario()
+    result = Figure4Result(scale_name=scale.name)
+    if include_clash:
+        clash = FlowSimulator(config, params, scenario).run()
+        result.results[clash.label] = clash
+    for depth in fixed_depths:
+        baseline = FixedDepthDhtSimulator(
+            config=config,
+            params=params,
+            scenario=scenario,
+            fixed_depth=depth,
+        ).run()
+        result.results[baseline.label] = baseline
+    return result

@@ -1,0 +1,139 @@
+"""Experiment E6 — Figure 5: CLASH signalling overhead.
+
+Figure 5 reports the number of CLASH messages per second per server for the
+three workloads under four conditions: virtual stream length Ld ∈ {50, 1000},
+each with and without 50,000 persistent-query clients (the query clients add
+state-transfer traffic when key groups split or merge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.runner import ExperimentScale
+from repro.sim.simulator import FlowSimulator, SimulationResult
+from repro.util.validation import check_type
+
+__all__ = ["Figure5Case", "Figure5Result", "run_figure5"]
+
+DEFAULT_STREAM_LENGTHS = (50.0, 1000.0)
+"""The virtual stream lengths Ld evaluated in Figure 5."""
+
+
+@dataclass
+class Figure5Case:
+    """One bar group of Figure 5.
+
+    Attributes:
+        mean_stream_length: The virtual stream length Ld used.
+        query_clients: Number of persistent-query clients (0 or the scale's
+            query population).
+        result: The CLASH simulation result for this condition.
+    """
+
+    mean_stream_length: float
+    query_clients: int
+    result: SimulationResult
+
+    def messages_per_server_per_second(self) -> dict[str, float]:
+        """Mean signalling rate per workload phase (the bar heights)."""
+        return {
+            phase.workload: phase.messages_per_server_per_second
+            for phase in self.result.phase_summaries()
+        }
+
+
+@dataclass
+class Figure5Result:
+    """All conditions of Figure 5.
+
+    Attributes:
+        scale_name: The experiment scale label.
+        cases: One entry per (Ld, query-client) condition.
+    """
+
+    scale_name: str
+    cases: list[Figure5Case] = field(default_factory=list)
+
+    def case(self, mean_stream_length: float, with_queries: bool) -> Figure5Case:
+        """Look up a specific condition."""
+        for candidate in self.cases:
+            if candidate.mean_stream_length == mean_stream_length and (
+                (candidate.query_clients > 0) == with_queries
+            ):
+                return candidate
+        raise KeyError(
+            f"no case with Ld={mean_stream_length} and "
+            f"{'query clients' if with_queries else 'no query clients'}"
+        )
+
+    def overhead_ratio_short_vs_long_streams(self, with_queries: bool = False) -> float:
+        """How much more signalling short streams (Ld=50) cost than long ones.
+
+        The paper's qualitative claim: overheads are clearly lower for longer
+        streams because keys change less often.
+        """
+        short = self.case(min(c.mean_stream_length for c in self.cases), with_queries)
+        long = self.case(max(c.mean_stream_length for c in self.cases), with_queries)
+        short_mean = _mean_rate(short)
+        long_mean = _mean_rate(long)
+        if long_mean == 0:
+            raise ValueError("long-stream case recorded no signalling traffic")
+        return short_mean / long_mean
+
+    def state_transfer_increment(self, mean_stream_length: float) -> float:
+        """Extra messages/sec/server added by the query-client population."""
+        with_queries = _mean_rate(self.case(mean_stream_length, with_queries=True))
+        without = _mean_rate(self.case(mean_stream_length, with_queries=False))
+        return with_queries - without
+
+
+def _mean_rate(case: Figure5Case) -> float:
+    rates = list(case.messages_per_server_per_second().values())
+    return sum(rates) / len(rates)
+
+
+def run_figure5(
+    scale: ExperimentScale | None = None,
+    stream_lengths: tuple[float, ...] = DEFAULT_STREAM_LENGTHS,
+    include_query_clients: bool = True,
+) -> Figure5Result:
+    """Run the Figure 5 overhead measurement at the given scale.
+
+    Args:
+        scale: Experiment scale for the *no query client* runs; the query-client
+            runs reuse the same scale with its query population enabled.
+            Defaults to ``ExperimentScale.scaled(10)``.
+        stream_lengths: Virtual stream lengths Ld to evaluate.
+        include_query_clients: Also run the 50,000-query-client condition
+            (case B of the figure).
+    """
+    if scale is None:
+        scale = ExperimentScale.scaled(10)
+    check_type("scale", scale, ExperimentScale)
+    # The query-client condition reuses the exact same scale and scenario so
+    # the two bars of each group differ only in the query population (half the
+    # data-source count, matching the paper's 50,000 queries per 100,000
+    # sources, unless the scale already specifies a query population).
+    query_population = scale.query_client_count or max(100, scale.source_count // 2)
+    result = Figure5Result(scale_name=scale.name)
+    for length in stream_lengths:
+        config = scale.config()
+        params = scale.params(mean_stream_length=length, query_client_count=0)
+        run = FlowSimulator(config, params, scale.scenario()).run()
+        result.cases.append(
+            Figure5Case(mean_stream_length=length, query_clients=0, result=run)
+        )
+        if include_query_clients:
+            q_params = scale.params(
+                mean_stream_length=length, query_client_count=query_population
+            )
+            q_run = FlowSimulator(config, q_params, scale.scenario()).run()
+            result.cases.append(
+                Figure5Case(
+                    mean_stream_length=length,
+                    query_clients=query_population,
+                    result=q_run,
+                )
+            )
+    return result

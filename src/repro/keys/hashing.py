@@ -1,0 +1,106 @@
+"""Identifier-key to hash-key functions (the paper's ``f()``).
+
+A DHT stores an object at the server owning ``Map(f(k'))`` where ``k'`` is the
+(virtual) identifier key and ``f`` maps the N-bit identifier space into the
+M-bit hash space.  CLASH requires nothing of ``f`` beyond determinism and good
+mixing; we use SHA-1 (the hash Chord itself uses) truncated to M bits.
+
+The module also provides :class:`HashFamily`, a family of independent hash
+functions obtained by salting, which the power-of-d-choices baseline
+(Byers et al. [5]) needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.keys.identifier import IdentifierKey
+from repro.util.validation import check_positive, check_type
+
+__all__ = ["Sha1HashFunction", "HashFamily", "truncate_hash"]
+
+
+def truncate_hash(digest: bytes, bits: int) -> int:
+    """Interpret the first bytes of a digest as an unsigned ``bits``-bit integer."""
+    check_type("bits", bits, int)
+    check_positive("bits", bits)
+    needed_bytes = (bits + 7) // 8
+    if len(digest) < needed_bytes:
+        raise ValueError(
+            f"digest of {len(digest)} bytes is too short for {bits} bits"
+        )
+    value = int.from_bytes(digest[:needed_bytes], "big")
+    excess = needed_bytes * 8 - bits
+    return value >> excess
+
+
+class Sha1HashFunction:
+    """SHA-1 based hash from identifier keys to an M-bit hash space.
+
+    Args:
+        hash_bits: Width M of the hash space (the paper's simulations use 24).
+        salt: Optional salt mixed into the hash; different salts yield
+            effectively independent functions.
+    """
+
+    def __init__(self, hash_bits: int, salt: int = 0) -> None:
+        check_type("hash_bits", hash_bits, int)
+        check_positive("hash_bits", hash_bits)
+        check_type("salt", salt, int)
+        self._hash_bits = hash_bits
+        self._salt = salt
+
+    @property
+    def hash_bits(self) -> int:
+        """Width of the hash space in bits."""
+        return self._hash_bits
+
+    @property
+    def salt(self) -> int:
+        """Salt value distinguishing this function within a family."""
+        return self._salt
+
+    def hash_key(self, key: IdentifierKey) -> int:
+        """Hash an identifier key into the M-bit hash space."""
+        return self.hash_value(key.value, key.width)
+
+    def hash_value(self, value: int, width: int) -> int:
+        """Hash a raw ``width``-bit integer into the M-bit hash space."""
+        payload = f"{self._salt}:{width}:{value}".encode("utf-8")
+        digest = hashlib.sha1(payload).digest()
+        return truncate_hash(digest, self._hash_bits)
+
+    def hash_string(self, text: str) -> int:
+        """Hash an arbitrary string (used for server node identifiers)."""
+        payload = f"{self._salt}:str:{text}".encode("utf-8")
+        digest = hashlib.sha1(payload).digest()
+        return truncate_hash(digest, self._hash_bits)
+
+
+class HashFamily:
+    """A family of ``d`` independent hash functions over the same hash space.
+
+    Used by the power-of-d-choices baseline, where each object key is hashed
+    with ``d >= 2`` functions and stored at the least-loaded of the candidate
+    servers.
+    """
+
+    def __init__(self, hash_bits: int, count: int) -> None:
+        check_type("count", count, int)
+        check_positive("count", count)
+        self._functions = [
+            Sha1HashFunction(hash_bits=hash_bits, salt=index) for index in range(count)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def __getitem__(self, index: int) -> Sha1HashFunction:
+        return self._functions[index]
+
+    def __iter__(self):
+        return iter(self._functions)
+
+    def hash_key_all(self, key: IdentifierKey) -> list[int]:
+        """Hash a key with every function in the family."""
+        return [function.hash_key(key) for function in self._functions]

@@ -1,0 +1,220 @@
+"""Key groups: the (virtual key, depth) pairs at the heart of CLASH.
+
+A key group of depth ``d`` over an ``N``-bit identifier space is the set of all
+identifier keys sharing a given ``d``-bit prefix (Section 4 of the paper).  The
+group is identified by its *virtual key* — the prefix padded with ``N - d``
+trailing zeros — together with the depth.  The paper writes groups in a
+wildcard notation: ``"0110*"`` is the depth-4 group of 7-bit keys beginning
+``0110``; its virtual key is ``0110000``.
+
+:class:`KeyGroup` provides the algebra the binary splitting algorithm relies
+on:
+
+* ``split()`` — the two depth ``d+1`` children; the *left* child has the same
+  virtual key as the parent (and therefore hashes to the same server), the
+  *right* child differs in bit ``d`` and (with high probability) hashes
+  elsewhere.
+* ``parent()`` / ``sibling()`` — used by bottom-up consolidation.
+* ``contains()`` / prefix relationships — used by the ServerTable's longest
+  prefix match and the client's depth search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+from repro.keys.identifier import IdentifierKey
+from repro.util.bitops import int_to_bits, pad_prefix_to_width
+from repro.util.validation import check_positive, check_type
+
+__all__ = ["KeyGroup"]
+
+
+@total_ordering
+@dataclass(frozen=True)
+class KeyGroup:
+    """The set of ``width``-bit identifier keys sharing a ``depth``-bit prefix.
+
+    Attributes:
+        prefix: Integer value of the ``depth``-bit prefix (MSB first).
+        depth: Number of significant prefix bits (``d`` in the paper).
+        width: Total identifier key width (``N`` in the paper).
+    """
+
+    prefix: int
+    depth: int
+    width: int
+
+    def __post_init__(self) -> None:
+        check_type("prefix", self.prefix, int)
+        check_type("depth", self.depth, int)
+        check_type("width", self.width, int)
+        check_positive("width", self.width)
+        if not 0 <= self.depth <= self.width:
+            raise ValueError(
+                f"depth must be in [0, {self.width}], got {self.depth}"
+            )
+        if not 0 <= self.prefix < (1 << self.depth):
+            raise ValueError(
+                f"prefix {self.prefix} does not fit in {self.depth} bits"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def root(cls, width: int) -> "KeyGroup":
+        """The depth-0 group containing every ``width``-bit key."""
+        return cls(prefix=0, depth=0, width=width)
+
+    @classmethod
+    def from_wildcard(cls, pattern: str, width: int) -> "KeyGroup":
+        """Parse the paper's wildcard notation, e.g. ``'0110*'`` with width 7.
+
+        A pattern without a trailing ``*`` denotes a full-depth (leaf) group.
+        """
+        check_type("pattern", pattern, str)
+        body = pattern[:-1] if pattern.endswith("*") else pattern
+        if any(ch not in "01" for ch in body):
+            raise ValueError(f"wildcard pattern must be binary digits + '*', got {pattern!r}")
+        if len(body) > width:
+            raise ValueError(
+                f"pattern {pattern!r} has {len(body)} bits but width is {width}"
+            )
+        prefix = int(body, 2) if body else 0
+        return cls(prefix=prefix, depth=len(body), width=width)
+
+    @classmethod
+    def from_key(cls, key: IdentifierKey, depth: int) -> "KeyGroup":
+        """The depth-``depth`` group containing ``key`` (the paper's ``Shape()``)."""
+        return cls(prefix=key.prefix(depth), depth=depth, width=key.width)
+
+    # ------------------------------------------------------------------ #
+    # Identity / representation
+    # ------------------------------------------------------------------ #
+
+    @property
+    def virtual_key(self) -> IdentifierKey:
+        """The virtual key: the prefix padded with trailing zeros to full width."""
+        value = pad_prefix_to_width(self.prefix, self.depth, self.width)
+        return IdentifierKey(value=value, width=self.width)
+
+    def wildcard(self) -> str:
+        """Render the group in the paper's wildcard notation (e.g. ``'0110*'``)."""
+        bits = int_to_bits(self.prefix, self.depth) if self.depth else ""
+        if self.depth == self.width:
+            return bits
+        return bits + "*"
+
+    @property
+    def size(self) -> int:
+        """Number of distinct identifier keys in the group (``2**(width - depth)``)."""
+        return 1 << (self.width - self.depth)
+
+    def __str__(self) -> str:
+        return f"{self.wildcard()} (depth={self.depth})"
+
+    def __lt__(self, other: "KeyGroup") -> bool:
+        if not isinstance(other, KeyGroup):
+            return NotImplemented
+        return (self.virtual_key.value, self.depth) < (other.virtual_key.value, other.depth)
+
+    # ------------------------------------------------------------------ #
+    # Membership and prefix relationships
+    # ------------------------------------------------------------------ #
+
+    def contains_key(self, key: IdentifierKey) -> bool:
+        """True if ``key`` belongs to this group (its first ``depth`` bits match)."""
+        if key.width != self.width:
+            raise ValueError(
+                f"key width {key.width} does not match group width {self.width}"
+            )
+        return key.prefix(self.depth) == self.prefix
+
+    def contains_group(self, other: "KeyGroup") -> bool:
+        """True if ``other`` is a (non-strict) sub-group of this group."""
+        self._check_same_width(other)
+        if other.depth < self.depth:
+            return False
+        return (other.prefix >> (other.depth - self.depth)) == self.prefix
+
+    def is_ancestor_of(self, other: "KeyGroup") -> bool:
+        """True if this group strictly contains ``other``."""
+        return self.depth < other.depth and self.contains_group(other)
+
+    def overlaps(self, other: "KeyGroup") -> bool:
+        """True if the two groups share at least one identifier key."""
+        self._check_same_width(other)
+        return self.contains_group(other) or other.contains_group(self)
+
+    def _check_same_width(self, other: "KeyGroup") -> None:
+        if other.width != self.width:
+            raise ValueError(
+                f"cannot relate groups of different widths ({self.width} vs {other.width})"
+            )
+
+    # ------------------------------------------------------------------ #
+    # The binary-splitting algebra
+    # ------------------------------------------------------------------ #
+
+    def split(self) -> tuple["KeyGroup", "KeyGroup"]:
+        """Split into the (left, right) depth ``d+1`` children.
+
+        The left child extends the prefix with a 0 bit and therefore has the
+        *same virtual key* as this group (it maps back to the same DHT
+        server); the right child extends with a 1 bit and will, with high
+        probability, hash to a different server.
+        """
+        if self.depth >= self.width:
+            raise ValueError(f"cannot split a full-depth group {self}")
+        left = KeyGroup(prefix=self.prefix << 1, depth=self.depth + 1, width=self.width)
+        right = KeyGroup(
+            prefix=(self.prefix << 1) | 1, depth=self.depth + 1, width=self.width
+        )
+        return left, right
+
+    def parent(self) -> "KeyGroup":
+        """The depth ``d-1`` group obtained by dropping the last prefix bit."""
+        if self.depth == 0:
+            raise ValueError("the root group has no parent")
+        return KeyGroup(prefix=self.prefix >> 1, depth=self.depth - 1, width=self.width)
+
+    def sibling(self) -> "KeyGroup":
+        """The other child of this group's parent (flip the last prefix bit)."""
+        if self.depth == 0:
+            raise ValueError("the root group has no sibling")
+        return KeyGroup(prefix=self.prefix ^ 1, depth=self.depth, width=self.width)
+
+    def is_left_child(self) -> bool:
+        """True if this group is the left (0-bit) child of its parent."""
+        if self.depth == 0:
+            raise ValueError("the root group is not a child")
+        return (self.prefix & 1) == 0
+
+    def is_right_child(self) -> bool:
+        """True if this group is the right (1-bit) child of its parent."""
+        if self.depth == 0:
+            raise ValueError("the root group is not a child")
+        return (self.prefix & 1) == 1
+
+    def child(self, bit: int) -> "KeyGroup":
+        """The child obtained by appending ``bit`` (0 = left, 1 = right)."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit}")
+        left, right = self.split()
+        return left if bit == 0 else right
+
+    def descend_towards(self, key: IdentifierKey, target_depth: int) -> "KeyGroup":
+        """The depth ``target_depth`` descendant of this group containing ``key``.
+
+        Raises if ``key`` is not in this group or ``target_depth < depth``.
+        """
+        if target_depth < self.depth or target_depth > self.width:
+            raise ValueError(
+                f"target_depth must be in [{self.depth}, {self.width}], got {target_depth}"
+            )
+        if not self.contains_key(key):
+            raise ValueError(f"key {key} is not contained in group {self}")
+        return KeyGroup.from_key(key, target_depth)

@@ -1,0 +1,154 @@
+"""Quad-tree geographic key encoding (the paper's Section 3 example).
+
+A rectangular area is recursively split into four sub-regions; each split
+contributes two bits to the identifier key (00 = south-west, 01 = south-east,
+10 = north-west, 11 = north-east).  Repeating the split ``levels`` times yields
+a ``2 * levels``-bit key whose prefix structure mirrors spatial containment:
+keys with a common prefix lie in a common enclosing rectangle.  This is the
+natural ``KeyGen()`` for the Mobiscope-style telematics and multiplayer-game
+applications the paper motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.keys.identifier import IdentifierKey
+from repro.keys.keygroup import KeyGroup
+from repro.util.validation import check_positive, check_type
+
+__all__ = ["GridCell", "QuadTreeEncoder"]
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """An axis-aligned rectangle in the unit square covered by a key prefix.
+
+    Attributes:
+        x_min, x_max: Horizontal extent, ``0 <= x_min < x_max <= 1``.
+        y_min, y_max: Vertical extent, ``0 <= y_min < y_max <= 1``.
+    """
+
+    x_min: float
+    x_max: float
+    y_min: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.x_min < self.x_max <= 1.0):
+            raise ValueError(f"invalid x extent [{self.x_min}, {self.x_max}]")
+        if not (0.0 <= self.y_min < self.y_max <= 1.0):
+            raise ValueError(f"invalid y extent [{self.y_min}, {self.y_max}]")
+
+    def contains(self, x: float, y: float) -> bool:
+        """True if the point lies inside the cell (inclusive of the low edges)."""
+        return self.x_min <= x < self.x_max and self.y_min <= y < self.y_max
+
+    @property
+    def width(self) -> float:
+        """Horizontal size of the cell."""
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        """Vertical size of the cell."""
+        return self.y_max - self.y_min
+
+    @property
+    def centre(self) -> tuple[float, float]:
+        """The centre point of the cell."""
+        return (self.x_min + self.width / 2.0, self.y_min + self.height / 2.0)
+
+
+class QuadTreeEncoder:
+    """Encode unit-square positions into hierarchical identifier keys.
+
+    Args:
+        levels: Number of quad-tree levels; the resulting key width is
+            ``2 * levels`` bits.  The paper's N = 24 corresponds to 12 levels.
+    """
+
+    def __init__(self, levels: int) -> None:
+        check_type("levels", levels, int)
+        check_positive("levels", levels)
+        self._levels = levels
+
+    @property
+    def levels(self) -> int:
+        """Number of quad-tree subdivision levels."""
+        return self._levels
+
+    @property
+    def key_width(self) -> int:
+        """Width in bits of generated keys (two bits per level)."""
+        return 2 * self._levels
+
+    def encode(self, x: float, y: float) -> IdentifierKey:
+        """Encode a point in the unit square into an identifier key.
+
+        Each level contributes two bits: the first is 1 iff the point is in the
+        upper (north) half of the current cell, the second is 1 iff it is in
+        the right (east) half.
+        """
+        if not (0.0 <= x < 1.0 and 0.0 <= y < 1.0):
+            raise ValueError(f"point ({x}, {y}) must lie in the unit square [0, 1)^2")
+        value = 0
+        x_min, x_max, y_min, y_max = 0.0, 1.0, 0.0, 1.0
+        for _ in range(self._levels):
+            x_mid = (x_min + x_max) / 2.0
+            y_mid = (y_min + y_max) / 2.0
+            north = y >= y_mid
+            east = x >= x_mid
+            value = (value << 1) | int(north)
+            value = (value << 1) | int(east)
+            if north:
+                y_min = y_mid
+            else:
+                y_max = y_mid
+            if east:
+                x_min = x_mid
+            else:
+                x_max = x_mid
+        return IdentifierKey(value=value, width=self.key_width)
+
+    def decode_cell(self, key: IdentifierKey, depth: int | None = None) -> GridCell:
+        """Return the grid cell covered by the first ``depth`` bits of ``key``.
+
+        ``depth`` must be even (each level consumes two bits); ``None`` means
+        the full key width.
+        """
+        if key.width != self.key_width:
+            raise ValueError(
+                f"key width {key.width} does not match encoder width {self.key_width}"
+            )
+        if depth is None:
+            depth = self.key_width
+        if depth % 2 != 0:
+            raise ValueError(f"depth must be even for quad-tree decoding, got {depth}")
+        if not 0 <= depth <= self.key_width:
+            raise ValueError(f"depth must be in [0, {self.key_width}], got {depth}")
+        x_min, x_max, y_min, y_max = 0.0, 1.0, 0.0, 1.0
+        bits = key.bits()
+        for level in range(depth // 2):
+            north = bits[2 * level] == "1"
+            east = bits[2 * level + 1] == "1"
+            x_mid = (x_min + x_max) / 2.0
+            y_mid = (y_min + y_max) / 2.0
+            if north:
+                y_min = y_mid
+            else:
+                y_max = y_mid
+            if east:
+                x_min = x_mid
+            else:
+                x_max = x_mid
+        return GridCell(x_min=x_min, x_max=x_max, y_min=y_min, y_max=y_max)
+
+    def group_cell(self, group: KeyGroup) -> GridCell:
+        """The grid cell covered by a key group (its depth must be even)."""
+        return self.decode_cell(group.virtual_key, depth=group.depth)
+
+    def cell_group(self, x: float, y: float, depth: int) -> KeyGroup:
+        """The depth-``depth`` key group of the cell containing the point."""
+        key = self.encode(x, y)
+        return KeyGroup.from_key(key, depth)

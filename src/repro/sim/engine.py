@@ -1,0 +1,134 @@
+"""A minimal discrete-event simulation engine.
+
+Used by the examples and the fine-grained integration tests to drive small
+CLASH deployments packet by packet.  The engine is a conventional
+priority-queue scheduler: events carry an absolute firing time and a callback;
+callbacks may schedule further events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.util.validation import check_non_negative
+
+__all__ = ["ScheduledEvent", "SimulationEngine"]
+
+
+@dataclass(order=True, frozen=True)
+class ScheduledEvent:
+    """An event in the simulation calendar.
+
+    Ordering is by ``(time, sequence)`` so that simultaneous events fire in
+    the order they were scheduled (deterministic replay).
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[float], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class SimulationEngine:
+    """A deterministic event-driven simulation clock."""
+
+    def __init__(self) -> None:
+        self._queue: list[ScheduledEvent] = []
+        self._now = 0.0
+        self._counter = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still scheduled."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Number of events fired so far."""
+        return self._processed
+
+    def schedule_at(
+        self, time: float, callback: Callable[[float], None], label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule a callback at an absolute time (must not be in the past)."""
+        check_non_negative("time", time)
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule an event at {time}, the clock is already at {self._now}"
+            )
+        event = ScheduledEvent(
+            time=time, sequence=next(self._counter), callback=callback, label=label
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_in(
+        self, delay: float, callback: Callable[[float], None], label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule a callback ``delay`` seconds from the current time."""
+        check_non_negative("delay", delay)
+        return self.schedule_at(self._now + delay, callback, label)
+
+    def schedule_every(
+        self,
+        period: float,
+        callback: Callable[[float], None],
+        label: str = "",
+        first_at: float | None = None,
+    ) -> None:
+        """Schedule a callback to repeat every ``period`` seconds indefinitely.
+
+        The repetition stops automatically when the engine is run with a
+        horizon (events beyond the horizon never fire).
+        """
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+
+        def fire(now: float) -> None:
+            callback(now)
+            self.schedule_at(now + period, fire, label)
+
+        self.schedule_at(first_at if first_at is not None else self._now + period, fire, label)
+
+    def run_until(self, horizon: float, max_events: int | None = None) -> int:
+        """Fire events in time order until the horizon (inclusive) is reached.
+
+        Returns the number of events processed during this call.  Events
+        scheduled beyond the horizon remain queued.
+        """
+        if horizon < self._now:
+            raise ValueError(
+                f"horizon {horizon} is before the current time {self._now}"
+            )
+        fired = 0
+        while self._queue and self._queue[0].time <= horizon:
+            if max_events is not None and fired >= max_events:
+                break
+            event = heapq.heappop(self._queue)
+            self._now = event.time
+            event.callback(event.time)
+            fired += 1
+            self._processed += 1
+        if not self._queue or self._queue[0].time > horizon:
+            self._now = max(self._now, horizon)
+        return fired
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Fire every queued event (bounded by ``max_events`` as a safety net)."""
+        fired = 0
+        while self._queue and fired < max_events:
+            event = heapq.heappop(self._queue)
+            self._now = event.time
+            event.callback(event.time)
+            fired += 1
+            self._processed += 1
+        return fired

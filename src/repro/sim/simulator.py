@@ -1,0 +1,394 @@
+"""The flow-level CLASH simulator behind the paper-scale experiments.
+
+The simulator advances in LOAD_CHECK_PERIOD steps (5 minutes in the paper).
+Each period it:
+
+1. looks up the active workload phase (A → B → C),
+2. assigns every active key group its *expected* data rate and stored-query
+   count under that workload (see :class:`~repro.sim.loadmeasure.LoadMeasure`),
+3. lets the CLASH protocol react — overloaded servers split their hottest
+   groups, under-loaded servers exchange load reports and consolidate cold
+   sibling pairs — iterating load assignment and load checks until the
+   configuration stabilises for the period,
+4. charges the period's client traffic: every virtual-stream key change and
+   every newly arriving query performs a real depth-discovery search (a sample
+   of searches is executed through the actual client/server message exchange
+   and the remainder is extrapolated from the sampled cost), and clients
+   redirected by splits or merges re-resolve their keys,
+5. records a :class:`~repro.sim.metrics.PeriodSample`.
+
+The same class also runs the *fixed-depth* baseline (``DHT(x)``): the key
+space is partitioned once at depth ``x`` and no splits or merges ever happen,
+which is exactly the paper's non-adaptive comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import ClashConfig
+from repro.core.messages import MessageCategory
+from repro.core.protocol import ClashSystem
+from repro.sim.loadmeasure import LoadMeasure
+from repro.sim.metrics import MetricsRecorder, PeriodSample, PhaseSummary
+from repro.util.rng import SeedSequenceFactory
+from repro.util.validation import check_positive, check_type
+from repro.workload.distributions import WorkloadSpec
+from repro.workload.queries import QueryPopulation
+from repro.workload.scenario import PhasedScenario
+from repro.workload.sources import SourcePopulation
+
+__all__ = ["SimulationParams", "SimulationResult", "FlowSimulator"]
+
+
+@dataclass(frozen=True)
+class SimulationParams:
+    """Scale and workload parameters of one simulation run.
+
+    The paper's full-scale configuration is 1000 servers, 100,000 data-source
+    client nodes (plus 50,000 query clients in Figure 5's case B), Ld = 1000
+    packets, Lq = 30 minutes and a 6-hour scenario; :meth:`paper_scale`
+    returns exactly that.  The default values are a scaled-down configuration;
+    to preserve the per-server load levels the server capacity must be scaled
+    with it, which :func:`repro.experiments.runner.scaled_setup` does —
+    see DESIGN.md §2 for the substitution rationale.
+
+    Attributes:
+        server_count: Number of peer servers in the overlay.
+        source_count: Number of data sources.
+        query_client_count: Number of persistent-query clients (0 for the
+            "no query clients" case of Figure 5).
+        mean_stream_length: Virtual stream length Ld in packets.
+        mean_query_lifetime: Query lifetime Lq in seconds.
+        seed: Master seed for all random streams.
+        lookup_sample_size: Number of real (message-level) depth searches
+            executed per period to estimate the per-lookup message cost.
+        max_balance_iterations: Upper bound on assign-loads / load-check
+            iterations per period.
+        max_splits_per_server_per_iteration: Splits one server may perform in
+            a single load-check pass.
+    """
+
+    server_count: int = 100
+    source_count: int = 10_000
+    query_client_count: int = 0
+    mean_stream_length: float = 1000.0
+    mean_query_lifetime: float = 1800.0
+    seed: int = 20040324
+    lookup_sample_size: int = 40
+    max_balance_iterations: int = 30
+    max_splits_per_server_per_iteration: int = 1
+
+    def __post_init__(self) -> None:
+        check_type("server_count", self.server_count, int)
+        check_type("source_count", self.source_count, int)
+        check_type("query_client_count", self.query_client_count, int)
+        check_positive("server_count", self.server_count)
+        check_positive("source_count", self.source_count)
+        if self.query_client_count < 0:
+            raise ValueError(
+                f"query_client_count must be non-negative, got {self.query_client_count}"
+            )
+        check_positive("mean_stream_length", self.mean_stream_length)
+        check_positive("mean_query_lifetime", self.mean_query_lifetime)
+        check_type("lookup_sample_size", self.lookup_sample_size, int)
+        check_positive("lookup_sample_size", self.lookup_sample_size)
+        check_positive("max_balance_iterations", self.max_balance_iterations)
+        check_positive(
+            "max_splits_per_server_per_iteration", self.max_splits_per_server_per_iteration
+        )
+
+    @classmethod
+    def paper_scale(cls, query_clients: bool = False, mean_stream_length: float = 1000.0) -> "SimulationParams":
+        """The full Section 6.1 configuration (slow: minutes of wall-clock time)."""
+        return cls(
+            server_count=1000,
+            source_count=100_000,
+            query_client_count=50_000 if query_clients else 0,
+            mean_stream_length=mean_stream_length,
+        )
+
+    @classmethod
+    def scaled(cls, factor: int = 10, query_clients: bool = False, **overrides) -> "SimulationParams":
+        """A configuration scaled down by ``factor`` from the paper scale.
+
+        Server count, source count and query-client count shrink together.
+        Per-server *load levels* are only preserved if the server capacity in
+        :class:`~repro.core.config.ClashConfig` is scaled by the same factor;
+        :func:`repro.experiments.runner.scaled_setup` builds a consistent
+        (config, params) pair.
+        """
+        check_positive("factor", factor)
+        params = {
+            "server_count": max(10, 1000 // factor),
+            "source_count": max(200, 100_000 // factor),
+            "query_client_count": (max(100, 50_000 // factor) if query_clients else 0),
+        }
+        params.update(overrides)
+        return cls(**params)
+
+
+@dataclass
+class SimulationResult:
+    """Output of one simulation run.
+
+    Attributes:
+        label: Human-readable label, e.g. ``"CLASH"`` or ``"DHT(6)"``.
+        params: The run's scale parameters.
+        config: The protocol configuration used.
+        metrics: Per-period samples (see :class:`MetricsRecorder`).
+        final_active_groups: Number of active key groups at the end of the run.
+        total_splits: Splits performed over the whole run.
+        total_merges: Consolidations performed over the whole run.
+    """
+
+    label: str
+    params: SimulationParams
+    config: ClashConfig
+    metrics: MetricsRecorder
+    final_active_groups: int = 0
+    total_splits: int = 0
+    total_merges: int = 0
+    notes: dict[str, float] = field(default_factory=dict)
+
+    def phase_summaries(self) -> list[PhaseSummary]:
+        """Per-workload-phase aggregates."""
+        return self.metrics.phase_summaries()
+
+
+class FlowSimulator:
+    """Simulate a CLASH (or fixed-depth DHT) deployment over a phased scenario.
+
+    Args:
+        config: Protocol configuration.
+        params: Scale parameters.
+        scenario: The workload schedule (defaults to the paper's A → B → C).
+        fixed_depth: When set, run the non-adaptive baseline ``DHT(fixed_depth)``
+            instead of CLASH — the key space is partitioned once at that depth
+            and load checks are disabled.
+    """
+
+    def __init__(
+        self,
+        config: ClashConfig,
+        params: SimulationParams,
+        scenario: PhasedScenario,
+        fixed_depth: int | None = None,
+    ) -> None:
+        check_type("config", config, ClashConfig)
+        check_type("params", params, SimulationParams)
+        self._params = params
+        self._scenario = scenario
+        self._fixed_depth = fixed_depth
+        if fixed_depth is not None:
+            if not 1 <= fixed_depth <= config.key_bits:
+                raise ValueError(
+                    f"fixed_depth must be in [1, {config.key_bits}], got {fixed_depth}"
+                )
+            # A fixed-depth run bootstraps at that depth and never adapts.
+            bootstrap_depth = min(fixed_depth, 16)
+            config = config.with_overrides(
+                initial_depth=bootstrap_depth, min_depth=min(config.min_depth, bootstrap_depth)
+            )
+        self._config = config
+        seeds = SeedSequenceFactory(params.seed)
+        self._system = ClashSystem.create(
+            config,
+            server_count=params.server_count,
+            rng=seeds.stream("ring"),
+            bootstrap=False,
+        )
+        self._system.bootstrap(config.initial_depth)
+        first_spec = scenario.workload_at(0.0)
+        self._sources = SourcePopulation(
+            count=params.source_count,
+            spec=first_spec,
+            key_bits=config.key_bits,
+            mean_stream_length=params.mean_stream_length,
+            rng=seeds.stream("sources"),
+        )
+        self._queries = QueryPopulation(
+            count=params.query_client_count,
+            spec=first_spec,
+            key_bits=config.key_bits,
+            mean_lifetime=params.mean_query_lifetime,
+            rng=seeds.stream("queries"),
+        )
+        self._lookup_keygen = self._sources.make_key_generator()
+        self._lookup_client = self._system.make_client("sampling-client")
+        self._recorder = MetricsRecorder()
+        self._total_splits = 0
+        self._total_merges = 0
+
+    @property
+    def system(self) -> ClashSystem:
+        """The simulated CLASH deployment (useful for inspection in tests)."""
+        return self._system
+
+    @property
+    def label(self) -> str:
+        """The run's label (CLASH, or DHT(x) for fixed-depth baselines)."""
+        if self._fixed_depth is None:
+            return "CLASH"
+        return f"DHT({self._fixed_depth})"
+
+    # ------------------------------------------------------------------ #
+    # Load assignment
+    # ------------------------------------------------------------------ #
+
+    def _build_measure(self, spec: WorkloadSpec) -> LoadMeasure:
+        total_rate = self._params.source_count * spec.source_rate
+        return LoadMeasure(
+            spec=spec,
+            total_rate=total_rate,
+            total_queries=float(self._params.query_client_count),
+        )
+
+    def _assign_loads(self, measure: LoadMeasure) -> None:
+        """Give every active group its expected rate and query count."""
+        for server in self._system.servers().values():
+            server.reset_interval()
+        for group, owner in self._system.active_groups().items():
+            server = self._system.server(owner)
+            server.set_group_rate(group, measure.group_rate(group))
+            if self._params.query_client_count:
+                server.set_group_query_count(group, measure.group_queries(group))
+
+    def _server_load_percents(self) -> list[float]:
+        """Load (as % of capacity) of every server that manages a group."""
+        percents = []
+        for owner in self._system.active_servers():
+            percents.append(self._system.server(owner).load_percent())
+        return percents
+
+    # ------------------------------------------------------------------ #
+    # Protocol reaction within one period
+    # ------------------------------------------------------------------ #
+
+    def _balance(self, measure: LoadMeasure) -> tuple[int, int, float, float]:
+        """Let CLASH react to the period's load.
+
+        Returns ``(splits, merges, redirected_sources, migrated_queries)``.
+        """
+        if self._fixed_depth is not None:
+            self._assign_loads(measure)
+            return 0, 0, 0.0, 0.0
+        splits = 0
+        merges = 0
+        redirected = 0.0
+        migrated_queries = 0.0
+        for _iteration in range(self._params.max_balance_iterations):
+            self._assign_loads(measure)
+            report = self._system.run_load_check(
+                max_splits_per_server=self._params.max_splits_per_server_per_iteration
+            )
+            if report.split_count == 0 and report.merge_count == 0:
+                break
+            splits += report.split_count
+            merges += report.merge_count
+            for outcome in report.splits:
+                if not outcome.shed:
+                    continue
+                probability = measure.group_probability(outcome.right)
+                redirected += self._params.source_count * probability
+                moved = measure.group_queries(outcome.right)
+                migrated_queries += moved
+                self._system.messages.add(MessageCategory.STATE_TRANSFER, moved)
+            for outcome in report.merges:
+                _left, right = outcome.parent_group.split()
+                probability = measure.group_probability(right)
+                redirected += self._params.source_count * probability
+                moved = measure.group_queries(right)
+                migrated_queries += moved
+                self._system.messages.add(MessageCategory.STATE_TRANSFER, moved)
+        # Leave the final, post-reaction load assignment in place for metrics.
+        self._assign_loads(measure)
+        return splits, merges, redirected, migrated_queries
+
+    # ------------------------------------------------------------------ #
+    # Client traffic accounting
+    # ------------------------------------------------------------------ #
+
+    def _charge_lookups(self, spec: WorkloadSpec, period: float, redirected: float) -> None:
+        """Charge the period's depth-discovery traffic.
+
+        A sample of searches runs through the real message exchange; the
+        remaining expected lookups are extrapolated at the sampled average
+        cost.
+        """
+        key_changes = self._sources.expected_key_changes(period)
+        query_arrivals = self._queries.expected_arrivals(period) if self._params.query_client_count else 0.0
+        lookups_needed = key_changes + query_arrivals + redirected
+        if lookups_needed <= 0:
+            return
+        self._lookup_keygen.set_base_weights(spec.weights)
+        sample_size = min(self._params.lookup_sample_size, max(1, int(lookups_needed)))
+        sampled_messages = 0
+        for _ in range(sample_size):
+            key = self._lookup_keygen.generate()
+            result = self._lookup_client.find_group(key, use_cache=False)
+            sampled_messages += result.messages
+        average_cost = sampled_messages / sample_size
+        remainder = max(0.0, lookups_needed - sample_size)
+        self._system.messages.add(MessageCategory.LOOKUP, remainder * average_cost)
+        # Application data packets are delivered directly to the cached server.
+        self._system.messages.add(
+            MessageCategory.DATA, self._sources.total_rate() * period
+        )
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> SimulationResult:
+        """Run the full scenario and return the collected metrics."""
+        period = self._config.load_check_period
+        duration = self._scenario.total_duration
+        time = 0.0
+        server_count = self._params.server_count
+        while time < duration:
+            period_end = min(time + period, duration)
+            spec = self._scenario.workload_at(time)
+            self._sources.switch_workload(spec)
+            self._queries.switch_workload(spec)
+            measure = self._build_measure(spec)
+            self._system.reset_messages()
+            splits, merges, redirected, _migrated = self._balance(measure)
+            self._total_splits += splits
+            self._total_merges += merges
+            self._charge_lookups(spec, period_end - time, redirected)
+            loads = self._server_load_percents()
+            min_depth, avg_depth, max_depth = self._system.depth_statistics()
+            signalling = self._system.messages.signalling_total()
+            breakdown = {
+                category: count / (period_end - time)
+                for category, count in self._system.messages.snapshot().items()
+                if category != MessageCategory.DATA.value
+            }
+            sample = PeriodSample(
+                time=period_end,
+                workload=spec.name,
+                max_load_percent=max(loads) if loads else 0.0,
+                avg_load_percent=(sum(loads) / len(loads)) if loads else 0.0,
+                active_servers=len(loads),
+                min_depth=float(min_depth),
+                avg_depth=float(avg_depth),
+                max_depth=float(max_depth),
+                splits=splits,
+                merges=merges,
+                messages_per_server_per_second=signalling
+                / (period_end - time)
+                / server_count,
+                message_breakdown=breakdown,
+            )
+            self._recorder.record(sample)
+            time = period_end
+        return SimulationResult(
+            label=self.label,
+            params=self._params,
+            config=self._config,
+            metrics=self._recorder,
+            final_active_groups=len(self._system.active_groups()),
+            total_splits=self._total_splits,
+            total_merges=self._total_merges,
+        )

@@ -1,0 +1,61 @@
+"""Shared low-level utilities used across the CLASH reproduction.
+
+The utilities are deliberately dependency-light: everything in this package is
+pure Python (plus :mod:`math`) so that the key-manipulation and simulation
+layers above it remain easy to reason about and to test in isolation.
+"""
+
+from repro.util.bitops import (
+    bit_length_mask,
+    bits_to_int,
+    common_prefix_length,
+    extract_prefix,
+    int_to_bits,
+    is_prefix_of,
+    pad_prefix_to_width,
+    reverse_bits,
+    set_bit,
+    test_bit,
+)
+from repro.util.rng import RandomStream, SeedSequenceFactory
+from repro.util.stats import (
+    OnlineStats,
+    Percentiles,
+    TimeSeries,
+    WindowedCounter,
+    mean,
+    percentile,
+)
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "bit_length_mask",
+    "bits_to_int",
+    "common_prefix_length",
+    "extract_prefix",
+    "int_to_bits",
+    "is_prefix_of",
+    "pad_prefix_to_width",
+    "reverse_bits",
+    "set_bit",
+    "test_bit",
+    "RandomStream",
+    "SeedSequenceFactory",
+    "OnlineStats",
+    "Percentiles",
+    "TimeSeries",
+    "WindowedCounter",
+    "mean",
+    "percentile",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_type",
+]

@@ -1,0 +1,168 @@
+"""Bit-level helpers for fixed-width binary keys.
+
+CLASH identifier keys, virtual keys and key groups are all fixed-width bit
+strings (the paper uses ``N = 24`` bits for identifier keys and ``M = 24`` bits
+for the Chord hash space).  Python integers are arbitrary precision, so every
+helper here takes the intended *width* explicitly and validates that values fit
+within it.  All functions treat bit 0 as the most significant bit of the key —
+this matches the paper's prefix notation where ``"011*"`` means "the first three
+bits are 0, 1, 1".
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "bit_length_mask",
+    "bits_to_int",
+    "common_prefix_length",
+    "extract_prefix",
+    "int_to_bits",
+    "is_prefix_of",
+    "pad_prefix_to_width",
+    "reverse_bits",
+    "set_bit",
+    "test_bit",
+]
+
+
+def _check_width(width: int) -> None:
+    if not isinstance(width, int) or isinstance(width, bool):
+        raise TypeError(f"width must be an int, got {type(width).__name__}")
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+
+
+def _check_value(value: int, width: int) -> None:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"value must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+
+
+def bit_length_mask(width: int) -> int:
+    """Return a mask with the lowest ``width`` bits set (``2**width - 1``)."""
+    _check_width(width)
+    return (1 << width) - 1
+
+
+def int_to_bits(value: int, width: int) -> str:
+    """Render ``value`` as a ``width``-character binary string (MSB first).
+
+    >>> int_to_bits(6, 4)
+    '0110'
+    """
+    _check_width(width)
+    _check_value(value, width)
+    if width == 0:
+        return ""
+    return format(value, f"0{width}b")
+
+
+def bits_to_int(bits: str) -> int:
+    """Parse an MSB-first binary string into an integer.
+
+    >>> bits_to_int('0110')
+    6
+    """
+    if not isinstance(bits, str):
+        raise TypeError(f"bits must be a str, got {type(bits).__name__}")
+    if bits == "":
+        return 0
+    if any(ch not in "01" for ch in bits):
+        raise ValueError(f"bits must contain only '0'/'1', got {bits!r}")
+    return int(bits, 2)
+
+
+def extract_prefix(value: int, width: int, depth: int) -> int:
+    """Return the first ``depth`` bits of a ``width``-bit value as an integer.
+
+    The result is an integer in ``[0, 2**depth)``.
+
+    >>> extract_prefix(0b0110101, 7, 4)
+    6
+    """
+    _check_width(width)
+    _check_value(value, width)
+    if depth < 0 or depth > width:
+        raise ValueError(f"depth must be in [0, {width}], got {depth}")
+    return value >> (width - depth)
+
+
+def pad_prefix_to_width(prefix: int, depth: int, width: int) -> int:
+    """Zero-pad a ``depth``-bit prefix up to ``width`` bits (the virtual key).
+
+    This is exactly the paper's ``Shape()`` operation: take the first ``depth``
+    bits and set the remaining ``width - depth`` bits to zero.
+
+    >>> pad_prefix_to_width(0b0110, 4, 7) == 0b0110000
+    True
+    """
+    _check_width(width)
+    if depth < 0 or depth > width:
+        raise ValueError(f"depth must be in [0, {width}], got {depth}")
+    _check_value(prefix, depth)
+    return prefix << (width - depth)
+
+
+def is_prefix_of(prefix: int, depth: int, value: int, width: int) -> bool:
+    """Return ``True`` if the ``depth``-bit ``prefix`` matches the first bits of ``value``."""
+    return extract_prefix(value, width, depth) == _checked_prefix(prefix, depth)
+
+
+def _checked_prefix(prefix: int, depth: int) -> int:
+    _check_width(depth)
+    _check_value(prefix, depth)
+    return prefix
+
+
+def common_prefix_length(a: int, b: int, width: int) -> int:
+    """Length of the longest common MSB-first prefix of two ``width``-bit values.
+
+    >>> common_prefix_length(0b0110001, 0b0101010, 7)
+    2
+    """
+    _check_width(width)
+    _check_value(a, width)
+    _check_value(b, width)
+    diff = a ^ b
+    if diff == 0:
+        return width
+    return width - diff.bit_length()
+
+
+def test_bit(value: int, width: int, index: int) -> bool:
+    """Return bit ``index`` (0 = most significant) of a ``width``-bit value."""
+    _check_width(width)
+    _check_value(value, width)
+    if index < 0 or index >= width:
+        raise ValueError(f"index must be in [0, {width}), got {index}")
+    return bool((value >> (width - 1 - index)) & 1)
+
+
+def set_bit(value: int, width: int, index: int, bit: bool) -> int:
+    """Return ``value`` with bit ``index`` (0 = MSB) set to ``bit``."""
+    _check_width(width)
+    _check_value(value, width)
+    if index < 0 or index >= width:
+        raise ValueError(f"index must be in [0, {width}), got {index}")
+    mask = 1 << (width - 1 - index)
+    if bit:
+        return value | mask
+    return value & ~mask
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Reverse the bit order of a ``width``-bit value.
+
+    Used by the quad-tree encoder tests to verify symmetry properties; not on
+    any hot path.
+    """
+    _check_width(width)
+    _check_value(value, width)
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result

@@ -1,0 +1,241 @@
+"""Lightweight statistics helpers used by the metrics layer.
+
+The simulator records a handful of per-period aggregates (max/avg server load,
+active server counts, tree depth statistics, message rates).  These helpers
+keep that bookkeeping explicit and well tested without pulling a heavyweight
+dependency into the hot loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "OnlineStats",
+    "Percentiles",
+    "TimeSeries",
+    "WindowedCounter",
+    "mean",
+    "percentile",
+]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean of a non-empty sequence."""
+    if len(values) == 0:
+        raise ValueError("mean() of an empty sequence")
+    return float(sum(values)) / len(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]) of a non-empty sequence."""
+    if len(values) == 0:
+        raise ValueError("percentile() of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = int(math.floor(rank))
+    upper = int(math.ceil(rank))
+    if lower == upper:
+        return ordered[lower]
+    fraction = rank - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+class OnlineStats:
+    """Streaming count/mean/variance/min/max (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the running statistics."""
+        value = float(value)
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many observations into the running statistics."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def count(self) -> int:
+        """Number of observations seen so far."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Mean of observations (0.0 when empty)."""
+        return self._mean if self._count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of observations (0.0 with fewer than 2 samples)."""
+        if self._count < 2:
+            return 0.0
+        return self._m2 / self._count
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation seen (raises if empty)."""
+        if self._count == 0:
+            raise ValueError("no observations recorded")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation seen (raises if empty)."""
+        if self._count == 0:
+            raise ValueError("no observations recorded")
+        return self._max
+
+    def as_dict(self) -> dict[str, float]:
+        """Summary dictionary, convenient for reporting."""
+        return {
+            "count": float(self._count),
+            "mean": self.mean,
+            "stddev": self.stddev,
+            "min": self._min if self._count else 0.0,
+            "max": self._max if self._count else 0.0,
+        }
+
+
+@dataclass
+class Percentiles:
+    """Snapshot of common percentiles of a sample."""
+
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "Percentiles":
+        """Compute the snapshot from a non-empty sample."""
+        return cls(
+            p50=percentile(values, 50),
+            p90=percentile(values, 90),
+            p99=percentile(values, 99),
+            maximum=max(float(v) for v in values),
+        )
+
+
+@dataclass
+class TimeSeries:
+    """An ordered sequence of ``(time, value)`` observations.
+
+    Times must be appended in non-decreasing order; this is asserted so that
+    downstream plotting/reporting code can rely on monotonicity.
+    """
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        """Record one observation at the given time."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"time {time} is earlier than the last recorded time {self.times[-1]}"
+            )
+        self.times.append(float(time))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    def latest(self) -> tuple[float, float]:
+        """The most recent ``(time, value)`` pair (raises if empty)."""
+        if not self.times:
+            raise ValueError(f"time series {self.name!r} is empty")
+        return self.times[-1], self.values[-1]
+
+    def value_stats(self) -> OnlineStats:
+        """Aggregate statistics over the recorded values."""
+        stats = OnlineStats()
+        stats.extend(self.values)
+        return stats
+
+    def resample_mean(self, bucket_width: float) -> "TimeSeries":
+        """Average the series into fixed-width time buckets.
+
+        Useful for turning fine-grained samples into the hourly points the
+        paper's figures plot.
+        """
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be positive, got {bucket_width}")
+        result = TimeSeries(name=f"{self.name}/mean[{bucket_width}]")
+        if not self.times:
+            return result
+        bucket_start = self.times[0]
+        bucket_values: list[float] = []
+        for time, value in self:
+            while time >= bucket_start + bucket_width:
+                if bucket_values:
+                    result.append(bucket_start, mean(bucket_values))
+                    bucket_values = []
+                bucket_start += bucket_width
+            bucket_values.append(value)
+        if bucket_values:
+            result.append(bucket_start, mean(bucket_values))
+        return result
+
+
+class WindowedCounter:
+    """Counter that accumulates events and reports per-window rates.
+
+    Used for message accounting: the simulator adds message counts as they
+    occur and asks for the rate (events per second) at the end of each
+    measurement window.
+    """
+
+    def __init__(self) -> None:
+        self._window_total = 0.0
+        self._grand_total = 0.0
+
+    def add(self, count: float = 1.0) -> None:
+        """Accumulate ``count`` events into the current window."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self._window_total += count
+        self._grand_total += count
+
+    @property
+    def window_total(self) -> float:
+        """Events accumulated in the current window."""
+        return self._window_total
+
+    @property
+    def grand_total(self) -> float:
+        """Events accumulated over the counter's lifetime."""
+        return self._grand_total
+
+    def roll_window(self, window_seconds: float) -> float:
+        """Close the current window and return its rate in events/second."""
+        if window_seconds <= 0:
+            raise ValueError(f"window_seconds must be positive, got {window_seconds}")
+        rate = self._window_total / window_seconds
+        self._window_total = 0.0
+        return rate

@@ -1,0 +1,61 @@
+"""Small argument-validation helpers.
+
+Configuration objects in this code base validate eagerly at construction time
+(fail fast, with a message naming the offending parameter) rather than deep in
+the simulation loop.  These helpers keep those checks one-liners.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "check_type",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_probability",
+]
+
+
+def check_type(name: str, value: Any, expected_type: type | tuple[type, ...]) -> None:
+    """Raise :class:`TypeError` unless ``value`` is an instance of ``expected_type``.
+
+    Booleans are rejected when an int is expected, since ``True`` silently
+    passing as ``1`` is a common source of configuration bugs.
+    """
+    if expected_type is int or (
+        isinstance(expected_type, tuple) and int in expected_type and float not in expected_type
+    ):
+        if isinstance(value, bool):
+            raise TypeError(f"{name} must be an int, got bool")
+    if not isinstance(value, expected_type):
+        expected_name = (
+            expected_type.__name__
+            if isinstance(expected_type, type)
+            else " or ".join(t.__name__ for t in expected_type)
+        )
+        raise TypeError(f"{name} must be {expected_name}, got {type(value).__name__}")
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise :class:`ValueError` unless ``value`` is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Raise :class:`ValueError` unless ``value`` is >= 0."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> None:
+    """Raise :class:`ValueError` unless ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+
+
+def check_probability(name: str, value: float) -> None:
+    """Raise :class:`ValueError` unless ``value`` is a probability in [0, 1]."""
+    check_in_range(name, value, 0.0, 1.0)

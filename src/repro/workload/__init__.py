@@ -1,0 +1,54 @@
+"""Workload generation for the CLASH evaluation.
+
+Section 6.1 of the paper drives the system with three synthetic workloads —
+A (almost uniform), B (moderately skewed) and C (highly skewed) — defined as
+distributions over the 2^8 possible values of the 8-bit *base* portion of each
+24-bit identifier key; the remaining 16 bits are uniform.  Data sources stream
+packets at a constant rate (1 pkt/s under workload A, 2 pkt/s under B and C)
+and change their key every ``Ld`` packets on average; query clients register
+persistent queries with the same key skew and live for an exponentially
+distributed ``Lq`` (30 minutes).
+
+This package reproduces that workload model:
+
+* :mod:`~repro.workload.distributions` — the three skew profiles
+  (Figure 3) plus helpers for arbitrary Zipf/uniform skews.
+* :class:`~repro.workload.sources.DataSource` /
+  :class:`~repro.workload.sources.SourcePopulation` — key-churning data
+  sources.
+* :class:`~repro.workload.queries.QueryClient` /
+  :class:`~repro.workload.queries.QueryPopulation` — persistent-query
+  clients with exponential lifetimes.
+* :class:`~repro.workload.scenario.PhasedScenario` — the 6-hour A → B → C
+  schedule used by Figures 4 and 5.
+"""
+
+from repro.workload.distributions import (
+    WorkloadSpec,
+    skew_statistics,
+    uniform_weights,
+    workload_a,
+    workload_b,
+    workload_c,
+    zipf_weights,
+)
+from repro.workload.queries import QueryClient, QueryPopulation
+from repro.workload.scenario import PhasedScenario, ScenarioPhase, paper_scenario
+from repro.workload.sources import DataSource, SourcePopulation
+
+__all__ = [
+    "WorkloadSpec",
+    "workload_a",
+    "workload_b",
+    "workload_c",
+    "uniform_weights",
+    "zipf_weights",
+    "skew_statistics",
+    "DataSource",
+    "SourcePopulation",
+    "QueryClient",
+    "QueryPopulation",
+    "ScenarioPhase",
+    "PhasedScenario",
+    "paper_scenario",
+]

@@ -1,0 +1,131 @@
+"""Query clients: persistent continuous queries with exponential lifetimes.
+
+The paper's Figure 5 case (B) adds 50,000 query clients, each registering a
+long-lived query whose key follows the same skew as the data sources and whose
+lifetime is exponentially distributed with mean ``Lq`` = 30 minutes.  Stored
+queries are what migrates (state transfer) when key groups split or merge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.app.query_store import Query
+from repro.keys.identifier import IdentifierKey, RandomKeyGenerator
+from repro.util.rng import RandomStream
+from repro.util.validation import check_positive, check_type
+from repro.workload.distributions import WorkloadSpec
+
+__all__ = ["QueryClient", "QueryPopulation"]
+
+
+@dataclass
+class QueryClient:
+    """One query client and the query it currently has registered.
+
+    Attributes:
+        name: Client name.
+        key: The identifier key (content region) the query targets.
+        registered_at: Simulation time the query was registered.
+        expires_at: Simulation time the query's lifetime ends.
+    """
+
+    name: str
+    key: IdentifierKey
+    registered_at: float
+    expires_at: float
+
+    def to_query(self, query_id: int) -> Query:
+        """The :class:`~repro.app.query_store.Query` object servers store."""
+        return Query(
+            query_id=query_id, key=self.key, client=self.name, expires_at=self.expires_at
+        )
+
+
+class QueryPopulation:
+    """A population of query clients in demographic steady state.
+
+    With ``count`` clients and mean lifetime ``Lq``, the expected number of
+    query arrivals (and departures) per interval of length ``T`` is
+    ``count * T / Lq`` — each arrival requires a CLASH depth lookup and each
+    stored query contributes to the logarithmic term of its server's load.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        spec: WorkloadSpec,
+        key_bits: int,
+        mean_lifetime: float,
+        rng: RandomStream,
+    ) -> None:
+        check_type("count", count, int)
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        check_positive("mean_lifetime", mean_lifetime)
+        if spec.base_bits > key_bits:
+            raise ValueError(
+                f"workload base_bits ({spec.base_bits}) exceeds key_bits ({key_bits})"
+            )
+        self._count = count
+        self._spec = spec
+        self._key_bits = key_bits
+        self._mean_lifetime = mean_lifetime
+        self._rng = rng
+        self._next_client_id = 0
+
+    @property
+    def count(self) -> int:
+        """Steady-state number of active query clients."""
+        return self._count
+
+    @property
+    def spec(self) -> WorkloadSpec:
+        """The workload skew queries are drawn with."""
+        return self._spec
+
+    @property
+    def mean_lifetime(self) -> float:
+        """Mean query lifetime Lq in seconds."""
+        return self._mean_lifetime
+
+    def switch_workload(self, spec: WorkloadSpec) -> None:
+        """Switch the skew used for newly arriving queries."""
+        if spec.base_bits != self._spec.base_bits:
+            raise ValueError("cannot switch to a workload with different base_bits")
+        self._spec = spec
+
+    def expected_arrivals(self, interval: float) -> float:
+        """Expected query arrivals (= departures, in steady state) per interval."""
+        check_positive("interval", interval)
+        return self._count * interval / self._mean_lifetime
+
+    def make_key_generator(self) -> RandomKeyGenerator:
+        """A key generator drawing query keys with the population's skew."""
+        return RandomKeyGenerator(
+            width=self._key_bits,
+            base_bits=self._spec.base_bits,
+            rng=self._rng,
+            base_weights=self._spec.weights,
+        )
+
+    def spawn_clients(self, count: int, now: float) -> list[QueryClient]:
+        """Create ``count`` new query clients with freshly drawn keys and lifetimes."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        generator = self.make_key_generator()
+        clients = []
+        for _ in range(count):
+            client = QueryClient(
+                name=f"q{self._next_client_id}",
+                key=generator.generate(),
+                registered_at=now,
+                expires_at=now + self._rng.exponential(self._mean_lifetime),
+            )
+            self._next_client_id += 1
+            clients.append(client)
+        return clients
+
+    def initial_clients(self, now: float = 0.0) -> list[QueryClient]:
+        """The steady-state population present at the start of a simulation."""
+        return self.spawn_clients(self._count, now)

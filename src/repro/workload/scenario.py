@@ -1,0 +1,104 @@
+"""Phased workload scenarios (the paper's 6-hour A → B → C schedule)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+from repro.workload.distributions import (
+    WorkloadSpec,
+    workload_a,
+    workload_b,
+    workload_c,
+)
+
+__all__ = ["ScenarioPhase", "PhasedScenario", "paper_scenario"]
+
+
+@dataclass(frozen=True)
+class ScenarioPhase:
+    """One phase of a workload scenario.
+
+    Attributes:
+        spec: The workload active during the phase.
+        duration: Phase length in seconds.
+    """
+
+    spec: WorkloadSpec
+    duration: float
+
+    def __post_init__(self) -> None:
+        check_positive("duration", self.duration)
+
+
+class PhasedScenario:
+    """A piecewise-constant sequence of workloads.
+
+    The paper runs workload A for the first two hours, workload B for the next
+    two and workload C for the final two (:func:`paper_scenario`); arbitrary
+    schedules can be constructed for other experiments.
+    """
+
+    def __init__(self, phases: list[ScenarioPhase]) -> None:
+        if not phases:
+            raise ValueError("a scenario needs at least one phase")
+        base_bits = phases[0].spec.base_bits
+        if any(phase.spec.base_bits != base_bits for phase in phases):
+            raise ValueError("all phases must use the same number of base bits")
+        self._phases = list(phases)
+
+    @property
+    def phases(self) -> list[ScenarioPhase]:
+        """The scenario's phases in order."""
+        return list(self._phases)
+
+    @property
+    def total_duration(self) -> float:
+        """Total scenario length in seconds."""
+        return sum(phase.duration for phase in self._phases)
+
+    def workload_at(self, time: float) -> WorkloadSpec:
+        """The workload active at an absolute simulation time.
+
+        Times at or beyond the end of the scenario return the final workload,
+        so simulations may run slightly past the nominal duration.
+        """
+        if time < 0:
+            raise ValueError(f"time must be non-negative, got {time}")
+        elapsed = 0.0
+        for phase in self._phases:
+            elapsed += phase.duration
+            if time < elapsed:
+                return phase.spec
+        return self._phases[-1].spec
+
+    def phase_index_at(self, time: float) -> int:
+        """Index of the phase active at an absolute simulation time."""
+        if time < 0:
+            raise ValueError(f"time must be non-negative, got {time}")
+        elapsed = 0.0
+        for index, phase in enumerate(self._phases):
+            elapsed += phase.duration
+            if time < elapsed:
+                return index
+        return len(self._phases) - 1
+
+    def phase_boundaries(self) -> list[float]:
+        """Absolute start times of every phase."""
+        boundaries = [0.0]
+        for phase in self._phases[:-1]:
+            boundaries.append(boundaries[-1] + phase.duration)
+        return boundaries
+
+
+def paper_scenario(
+    base_bits: int = 8, phase_duration: float = 7200.0
+) -> PhasedScenario:
+    """The paper's evaluation scenario: 2 hours each of workloads A, B and C."""
+    return PhasedScenario(
+        [
+            ScenarioPhase(spec=workload_a(base_bits), duration=phase_duration),
+            ScenarioPhase(spec=workload_b(base_bits), duration=phase_duration),
+            ScenarioPhase(spec=workload_c(base_bits), duration=phase_duration),
+        ]
+    )

@@ -1,0 +1,190 @@
+"""Data sources: constant-rate packet streams whose keys churn every Ld packets.
+
+Each source holds one :class:`~repro.app.streams.VirtualStream` at a time;
+when the stream's exponentially distributed length is exhausted the source
+draws a new identifier key (from the current workload's skew) and starts a new
+stream — which is exactly when a CLASH client must perform a fresh depth
+lookup.
+"""
+
+from __future__ import annotations
+
+from repro.app.streams import DataPacket, VirtualStream
+from repro.keys.identifier import IdentifierKey, RandomKeyGenerator
+from repro.util.rng import RandomStream
+from repro.util.validation import check_positive, check_type
+from repro.workload.distributions import WorkloadSpec
+
+__all__ = ["DataSource", "SourcePopulation"]
+
+
+class DataSource:
+    """One data source producing virtual streams of packets.
+
+    Args:
+        name: Source name.
+        key_generator: Generator used to draw a fresh key at each stream start.
+        rate: Packet rate in packets/second.
+        mean_stream_length: Mean virtual stream length ``Ld`` in packets.
+        rng: Random stream for stream-length draws.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        key_generator: RandomKeyGenerator,
+        rate: float,
+        mean_stream_length: float,
+        rng: RandomStream,
+    ) -> None:
+        check_positive("rate", rate)
+        check_positive("mean_stream_length", mean_stream_length)
+        self._name = name
+        self._keygen = key_generator
+        self._rate = rate
+        self._mean_stream_length = mean_stream_length
+        self._rng = rng
+        self._stream: VirtualStream | None = None
+        self.streams_started = 0
+
+    @property
+    def name(self) -> str:
+        """The source's name."""
+        return self._name
+
+    @property
+    def rate(self) -> float:
+        """Packet rate in packets per second."""
+        return self._rate
+
+    @property
+    def current_key(self) -> IdentifierKey | None:
+        """The key of the current virtual stream (``None`` before the first)."""
+        return self._stream.key if self._stream is not None else None
+
+    def set_rate(self, rate: float) -> None:
+        """Change the packet rate (workload phases differ in rate)."""
+        check_positive("rate", rate)
+        self._rate = rate
+
+    def start_stream(self, now: float = 0.0) -> VirtualStream:
+        """Begin a new virtual stream with a freshly drawn key.
+
+        Returns the new stream; the caller is responsible for performing the
+        CLASH lookup the key change requires.
+        """
+        key = self._keygen.generate()
+        self._stream = VirtualStream(
+            source=self._name,
+            key=key,
+            rate=self._rate,
+            mean_length=self._mean_stream_length,
+            rng=self._rng,
+            started_at=now,
+        )
+        self.streams_started += 1
+        return self._stream
+
+    def next_packet(self, now: float = 0.0) -> tuple[DataPacket, bool]:
+        """Produce the next packet, starting a new stream when needed.
+
+        Returns ``(packet, key_changed)`` where ``key_changed`` is True when
+        the packet begins a new virtual stream (and hence a new lookup is
+        required).
+        """
+        key_changed = False
+        if self._stream is None or self._stream.exhausted:
+            self.start_stream(now)
+            key_changed = True
+        assert self._stream is not None
+        return self._stream.next_packet(), key_changed
+
+    def expected_key_change_rate(self) -> float:
+        """Expected key changes per second (``rate / Ld``)."""
+        return self._rate / self._mean_stream_length
+
+
+class SourcePopulation:
+    """A population of data sources sharing one workload specification.
+
+    For the paper-scale flow simulation, per-source state is unnecessary —
+    the population exposes the aggregate quantities the simulator needs
+    (total rate, expected key changes per interval) — while
+    :meth:`materialise` builds real :class:`DataSource` objects for the
+    event-driven simulator and the examples.
+    """
+
+    def __init__(
+        self,
+        count: int,
+        spec: WorkloadSpec,
+        key_bits: int,
+        mean_stream_length: float,
+        rng: RandomStream,
+    ) -> None:
+        check_type("count", count, int)
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        check_positive("mean_stream_length", mean_stream_length)
+        if spec.base_bits > key_bits:
+            raise ValueError(
+                f"workload base_bits ({spec.base_bits}) exceeds key_bits ({key_bits})"
+            )
+        self._count = count
+        self._spec = spec
+        self._key_bits = key_bits
+        self._mean_stream_length = mean_stream_length
+        self._rng = rng
+
+    @property
+    def count(self) -> int:
+        """Number of sources in the population."""
+        return self._count
+
+    @property
+    def spec(self) -> WorkloadSpec:
+        """The workload specification currently driving the population."""
+        return self._spec
+
+    @property
+    def mean_stream_length(self) -> float:
+        """Mean virtual stream length Ld in packets."""
+        return self._mean_stream_length
+
+    def switch_workload(self, spec: WorkloadSpec) -> None:
+        """Switch to a different workload phase (keys and rates change)."""
+        if spec.base_bits != self._spec.base_bits:
+            raise ValueError("cannot switch to a workload with different base_bits")
+        self._spec = spec
+
+    def total_rate(self) -> float:
+        """Aggregate packet rate of the whole population (packets/second)."""
+        return self._count * self._spec.source_rate
+
+    def expected_key_changes(self, interval: float) -> float:
+        """Expected number of virtual-stream starts during ``interval`` seconds."""
+        check_positive("interval", interval)
+        return self._count * self._spec.source_rate * interval / self._mean_stream_length
+
+    def make_key_generator(self) -> RandomKeyGenerator:
+        """A key generator drawing keys with the population's current skew."""
+        return RandomKeyGenerator(
+            width=self._key_bits,
+            base_bits=self._spec.base_bits,
+            rng=self._rng,
+            base_weights=self._spec.weights,
+        )
+
+    def materialise(self, prefix: str = "src") -> list[DataSource]:
+        """Create concrete :class:`DataSource` objects (event-driven simulation)."""
+        generator = self.make_key_generator()
+        return [
+            DataSource(
+                name=f"{prefix}{index}",
+                key_generator=generator,
+                rate=self._spec.source_rate,
+                mean_stream_length=self._mean_stream_length,
+                rng=self._rng,
+            )
+            for index in range(self._count)
+        ]

@@ -1,0 +1,68 @@
+"""Unit tests for repro.app.load_model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.load_model import LoadModel
+from repro.core.config import ClashConfig
+
+CONFIG = ClashConfig(server_capacity=1000.0, data_rate_weight=1.0, query_load_weight=10.0)
+MODEL = LoadModel(CONFIG)
+
+
+class TestLoadFunction:
+    def test_zero_load(self):
+        assert MODEL.load(0.0, 0.0) == 0.0
+
+    def test_linear_in_data_rate(self):
+        assert MODEL.load(200.0) == pytest.approx(200.0)
+        assert MODEL.load(400.0) == pytest.approx(2 * MODEL.load(200.0))
+
+    def test_logarithmic_in_queries(self):
+        one = MODEL.load(0.0, 1.0)
+        three = MODEL.load(0.0, 3.0)
+        seven = MODEL.load(0.0, 7.0)
+        assert one == pytest.approx(10.0)
+        assert three == pytest.approx(20.0)
+        assert seven == pytest.approx(30.0)
+
+    def test_combined_terms_add(self):
+        assert MODEL.load(100.0, 3.0) == pytest.approx(100.0 + 20.0)
+
+    def test_percent_and_fraction(self):
+        assert MODEL.load_fraction(500.0) == pytest.approx(0.5)
+        assert MODEL.load_percent(500.0) == pytest.approx(50.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            MODEL.load(-1.0)
+        with pytest.raises(ValueError):
+            MODEL.load(0.0, -1.0)
+
+
+class TestThresholds:
+    def test_overload_detection(self):
+        assert MODEL.is_overloaded(901.0)
+        assert not MODEL.is_overloaded(900.0)
+
+    def test_underload_detection(self):
+        assert MODEL.is_underloaded(539.0)
+        assert not MODEL.is_underloaded(540.0)
+
+    def test_cold_group_threshold_is_half_underload(self):
+        assert MODEL.is_cold(270.0)
+        assert not MODEL.is_cold(271.0)
+
+    def test_siblings_mergeable(self):
+        assert MODEL.siblings_mergeable(200.0, 200.0)
+        assert not MODEL.siblings_mergeable(300.0, 300.0)
+
+    def test_negative_loads_rejected(self):
+        with pytest.raises(ValueError):
+            MODEL.is_overloaded(-1.0)
+        with pytest.raises(ValueError):
+            MODEL.siblings_mergeable(-1.0, 1.0)
+
+    def test_config_accessor(self):
+        assert MODEL.config is CONFIG

@@ -1,0 +1,92 @@
+"""Unit tests for repro.app.query_store."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.app.query_store import Query, QueryStore
+from repro.keys.identifier import IdentifierKey
+from repro.keys.keygroup import KeyGroup
+
+
+def key(bits: str) -> IdentifierKey:
+    return IdentifierKey.from_bits(bits)
+
+
+class TestQuery:
+    def test_defaults(self):
+        query = Query(query_id=1, key=key("0101"))
+        assert query.expires_at == math.inf
+        assert query.client == "client"
+
+
+class TestQueryStore:
+    def test_add_and_len(self):
+        store = QueryStore()
+        store.add(Query(query_id=1, key=key("0101")))
+        store.add(Query(query_id=2, key=key("0111")))
+        assert len(store) == 2
+        assert 1 in store and 3 not in store
+
+    def test_duplicate_id_rejected(self):
+        store = QueryStore()
+        store.add(Query(query_id=1, key=key("0101")))
+        with pytest.raises(ValueError):
+            store.add(Query(query_id=1, key=key("0111")))
+
+    def test_remove(self):
+        store = QueryStore()
+        store.add(Query(query_id=1, key=key("0101")))
+        removed = store.remove(1)
+        assert removed.query_id == 1
+        assert len(store) == 0
+        with pytest.raises(KeyError):
+            store.remove(1)
+
+    def test_count_in_group(self):
+        store = QueryStore()
+        store.add_all(
+            [
+                Query(query_id=1, key=key("0101")),
+                Query(query_id=2, key=key("0111")),
+                Query(query_id=3, key=key("1101")),
+            ]
+        )
+        assert store.count_in_group(KeyGroup.from_wildcard("01*", width=4)) == 2
+        assert store.count_in_group(KeyGroup.from_wildcard("11*", width=4)) == 1
+        assert store.count_in_group(KeyGroup.from_wildcard("00*", width=4)) == 0
+
+    def test_extract_group_removes_and_returns(self):
+        store = QueryStore()
+        store.add_all(
+            [
+                Query(query_id=1, key=key("0101")),
+                Query(query_id=2, key=key("0111")),
+                Query(query_id=3, key=key("1101")),
+            ]
+        )
+        moved = store.extract_group(KeyGroup.from_wildcard("01*", width=4))
+        assert {query.query_id for query in moved} == {1, 2}
+        assert len(store) == 1
+        assert store.count_in_group(KeyGroup.from_wildcard("01*", width=4)) == 0
+
+    def test_extract_empty_group(self):
+        store = QueryStore()
+        assert store.extract_group(KeyGroup.from_wildcard("0*", width=4)) == []
+
+    def test_expire_removes_old_queries(self):
+        store = QueryStore()
+        store.add(Query(query_id=1, key=key("0101"), expires_at=10.0))
+        store.add(Query(query_id=2, key=key("0111"), expires_at=20.0))
+        store.add(Query(query_id=3, key=key("1101")))
+        expired = store.expire(now=15.0)
+        assert [query.query_id for query in expired] == [1]
+        assert len(store) == 2
+        assert store.expire(now=15.0) == []
+
+    def test_queries_listing(self):
+        store = QueryStore()
+        store.add(Query(query_id=5, key=key("0000")))
+        assert [query.query_id for query in store.queries()] == [5]

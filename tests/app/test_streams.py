@@ -1,0 +1,63 @@
+"""Unit tests for repro.app.streams."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.streams import VirtualStream
+from repro.keys.identifier import IdentifierKey
+from repro.util.rng import RandomStream
+
+
+def make_stream(rate: float = 2.0, mean_length: float = 10.0, seed: int = 3) -> VirtualStream:
+    return VirtualStream(
+        source="src0",
+        key=IdentifierKey(value=99, width=12),
+        rate=rate,
+        mean_length=mean_length,
+        rng=RandomStream(seed),
+        started_at=100.0,
+    )
+
+
+class TestVirtualStream:
+    def test_length_is_at_least_one(self):
+        for seed in range(20):
+            stream = make_stream(mean_length=1.0, seed=seed)
+            assert stream.length >= 1
+
+    def test_packets_share_the_stream_key(self):
+        stream = make_stream()
+        packets = [stream.next_packet() for _ in range(min(stream.length, 5))]
+        assert all(packet.key == stream.key for packet in packets)
+        assert [packet.sequence for packet in packets] == list(range(len(packets)))
+
+    def test_timestamps_advance_at_rate(self):
+        stream = make_stream(rate=2.0)
+        first = stream.next_packet()
+        if stream.length > 1:
+            second = stream.next_packet()
+            assert second.timestamp - first.timestamp == pytest.approx(0.5)
+        assert first.timestamp == pytest.approx(100.0)
+
+    def test_exhaustion(self):
+        stream = make_stream(mean_length=3.0)
+        for _ in range(stream.length):
+            stream.next_packet()
+        assert stream.exhausted
+        with pytest.raises(ValueError):
+            stream.next_packet()
+
+    def test_expected_duration(self):
+        stream = make_stream(rate=4.0)
+        assert stream.expected_duration == pytest.approx(stream.length / 4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_stream(rate=0.0)
+        with pytest.raises(ValueError):
+            make_stream(mean_length=0.0)
+
+    def test_mean_length_statistics(self):
+        lengths = [make_stream(mean_length=50.0, seed=seed).length for seed in range(300)]
+        assert 35 < sum(lengths) / len(lengths) < 65

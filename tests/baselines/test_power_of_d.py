@@ -1,0 +1,79 @@
+"""Unit tests for the power-of-d-choices baseline (Byers et al.)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.power_of_d import PowerOfDChoicesPlacer
+from repro.dht.hashspace import HashSpace
+from repro.dht.ring import ChordRing
+from repro.keys.identifier import IdentifierKey, RandomKeyGenerator
+from repro.util.rng import RandomStream
+
+
+@pytest.fixture
+def ring() -> ChordRing:
+    return ChordRing.build(node_count=20, space=HashSpace(bits=16), rng=RandomStream(77))
+
+
+def random_keys(count: int, seed: int = 5) -> list[IdentifierKey]:
+    generator = RandomKeyGenerator(width=24, base_bits=8, rng=RandomStream(seed))
+    return generator.generate_many(count)
+
+
+class TestPlacement:
+    def test_candidates_match_choice_count(self, ring: ChordRing):
+        placer = PowerOfDChoicesPlacer(ring, choices=3)
+        key = IdentifierKey(value=123, width=24)
+        assert len(placer.candidates_for(key)) == 3
+        assert placer.choices == 3
+
+    def test_place_selects_a_candidate(self, ring: ChordRing):
+        placer = PowerOfDChoicesPlacer(ring, choices=2)
+        key = IdentifierKey(value=123, width=24)
+        placement = placer.place(key)
+        assert placement.server in placement.candidates
+
+    def test_load_accumulates_on_chosen_server(self, ring: ChordRing):
+        placer = PowerOfDChoicesPlacer(ring, choices=2)
+        placement = placer.place(IdentifierKey(value=1, width=24), load=5.0)
+        assert placer.server_loads()[placement.server] == pytest.approx(5.0)
+
+    def test_negative_load_rejected(self, ring: ChordRing):
+        placer = PowerOfDChoicesPlacer(ring, choices=2)
+        with pytest.raises(ValueError):
+            placer.place(IdentifierKey(value=1, width=24), load=-1.0)
+
+    def test_choices_validation(self, ring: ChordRing):
+        with pytest.raises(ValueError):
+            PowerOfDChoicesPlacer(ring, choices=0)
+
+    def test_imbalance_of_empty_placer_is_one(self, ring: ChordRing):
+        assert PowerOfDChoicesPlacer(ring, choices=2).imbalance() == 1.0
+
+
+class TestBalancingBehaviour:
+    def test_two_choices_beat_one_choice(self, ring: ChordRing):
+        """The classic power-of-two-choices improvement on uniform objects."""
+        keys = random_keys(3000)
+        single = PowerOfDChoicesPlacer(ring, choices=1)
+        double = PowerOfDChoicesPlacer(ring, choices=2)
+        single.place_all(keys)
+        double.place_all(keys)
+        assert double.imbalance() < single.imbalance()
+
+    def test_placements_are_recorded(self, ring: ChordRing):
+        placer = PowerOfDChoicesPlacer(ring, choices=2)
+        keys = random_keys(10)
+        placer.place_all(keys)
+        assert len(placer.placements()) == 10
+
+    def test_related_keys_are_scattered_across_servers(self, ring: ChordRing):
+        """d-choices destroys content clustering: a related key group spans many servers."""
+        placer = PowerOfDChoicesPlacer(ring, choices=2)
+        base = 0b10110011
+        related = [
+            IdentifierKey(value=(base << 16) | suffix, width=24) for suffix in range(64)
+        ]
+        placer.place_all(related)
+        assert placer.servers_spanned(related) > 5

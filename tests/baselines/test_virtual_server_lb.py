@@ -1,0 +1,95 @@
+"""Unit tests for the virtual-server migration baseline (Rao et al.)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.virtual_server_lb import VirtualServerBalancer
+
+
+def make_balancer(**kwargs) -> VirtualServerBalancer:
+    balancer = VirtualServerBalancer(capacity=100.0, **kwargs)
+    for index in range(4):
+        balancer.add_physical_node(f"m{index}")
+    return balancer
+
+
+class TestSetup:
+    def test_duplicate_node_rejected(self):
+        balancer = make_balancer()
+        with pytest.raises(ValueError):
+            balancer.add_physical_node("m0")
+
+    def test_assign_to_unknown_node(self):
+        balancer = make_balancer()
+        with pytest.raises(KeyError):
+            balancer.assign_virtual_server("ghost", "v0", 10.0)
+
+    def test_duplicate_virtual_server_rejected(self):
+        balancer = make_balancer()
+        balancer.assign_virtual_server("m0", "v0", 10.0)
+        with pytest.raises(ValueError):
+            balancer.assign_virtual_server("m1", "v0", 10.0)
+
+    def test_negative_load_rejected(self):
+        balancer = make_balancer()
+        with pytest.raises(ValueError):
+            balancer.assign_virtual_server("m0", "v0", -1.0)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            VirtualServerBalancer(capacity=100.0, overload_threshold=0.5, underload_threshold=0.6)
+        with pytest.raises(ValueError):
+            VirtualServerBalancer(capacity=0.0)
+
+    def test_node_loads(self):
+        balancer = make_balancer()
+        balancer.assign_virtual_server("m0", "v0", 30.0)
+        balancer.assign_virtual_server("m0", "v1", 20.0)
+        assert balancer.node_loads()["m0"] == pytest.approx(50.0)
+        assert balancer.node_utilisations()["m0"] == pytest.approx(0.5)
+
+
+class TestBalancing:
+    def test_overloaded_node_sheds_virtual_servers(self):
+        balancer = make_balancer()
+        for index in range(5):
+            balancer.assign_virtual_server("m0", f"v{index}", 30.0)
+        assert balancer.max_utilisation() == pytest.approx(1.5)
+        steps = balancer.balance()
+        assert steps
+        assert balancer.max_utilisation() <= 0.9
+        assert not balancer.overloaded_nodes()
+
+    def test_migrations_move_to_least_loaded(self):
+        balancer = make_balancer()
+        balancer.assign_virtual_server("m0", "hot1", 50.0)
+        balancer.assign_virtual_server("m0", "hot2", 50.0)
+        balancer.assign_virtual_server("m1", "warm", 60.0)
+        steps = balancer.balance()
+        assert steps[0].destination in {"m2", "m3"}
+
+    def test_single_huge_virtual_server_cannot_be_balanced(self):
+        """The limitation CLASH removes: one hot region exceeds any node's capacity."""
+        balancer = make_balancer()
+        balancer.assign_virtual_server("m0", "whale", 150.0)
+        steps = balancer.balance()
+        assert steps == []
+        assert balancer.max_utilisation() == pytest.approx(1.5)
+
+    def test_balance_respects_migration_budget(self):
+        balancer = make_balancer()
+        for index in range(8):
+            balancer.assign_virtual_server("m0", f"v{index}", 20.0)
+        steps = balancer.balance(max_migrations=2)
+        assert len(steps) == 2
+
+    def test_already_balanced_system_does_nothing(self):
+        balancer = make_balancer()
+        for index, node in enumerate(["m0", "m1", "m2", "m3"]):
+            balancer.assign_virtual_server(node, f"v{index}", 40.0)
+        assert balancer.balance() == []
+
+    def test_max_utilisation_requires_nodes(self):
+        with pytest.raises(ValueError):
+            VirtualServerBalancer(capacity=10.0).max_utilisation()

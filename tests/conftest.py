@@ -1,0 +1,39 @@
+"""Shared fixtures for the CLASH reproduction test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ClashConfig
+from repro.core.protocol import ClashSystem
+from repro.util.rng import RandomStream, SeedSequenceFactory
+
+
+@pytest.fixture
+def rng() -> RandomStream:
+    """A deterministic random stream for tests."""
+    return RandomStream(12345)
+
+
+@pytest.fixture
+def seed_factory() -> SeedSequenceFactory:
+    """A deterministic seed-sequence factory for tests."""
+    return SeedSequenceFactory(12345)
+
+
+@pytest.fixture
+def small_config() -> ClashConfig:
+    """A reduced configuration that makes splits cheap to trigger."""
+    return ClashConfig.small_scale()
+
+
+@pytest.fixture
+def paper_config() -> ClashConfig:
+    """The paper's default configuration (24-bit keys)."""
+    return ClashConfig.paper_defaults()
+
+
+@pytest.fixture
+def small_system(small_config: ClashConfig, rng: RandomStream) -> ClashSystem:
+    """A bootstrapped 16-server CLASH deployment with 12-bit keys."""
+    return ClashSystem.create(small_config, server_count=16, rng=rng)

@@ -1,0 +1,88 @@
+"""Unit tests for repro.core.config."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ClashConfig
+
+
+class TestDefaults:
+    def test_paper_defaults_match_section_6_1(self):
+        config = ClashConfig.paper_defaults()
+        assert config.key_bits == 24
+        assert config.hash_bits == 24
+        assert config.base_bits == 8
+        assert config.initial_depth == 6
+        assert config.overload_threshold == pytest.approx(0.90)
+        assert config.underload_threshold == pytest.approx(0.54)
+        assert config.load_check_period == pytest.approx(300.0)
+
+    def test_small_scale_is_valid_and_smaller(self):
+        config = ClashConfig.small_scale()
+        assert config.key_bits < 24
+        assert config.initial_depth <= config.key_bits
+
+    def test_effective_max_depth_defaults_to_key_bits(self):
+        assert ClashConfig().effective_max_depth == 24
+        assert ClashConfig(max_depth=16).effective_max_depth == 16
+
+    def test_threshold_loads_in_absolute_units(self):
+        config = ClashConfig(server_capacity=1000.0)
+        assert config.overload_load == pytest.approx(900.0)
+        assert config.underload_load == pytest.approx(540.0)
+
+
+class TestValidation:
+    def test_base_bits_must_fit_in_key(self):
+        with pytest.raises(ValueError):
+            ClashConfig(key_bits=8, base_bits=9)
+
+    def test_depth_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            ClashConfig(min_depth=7, initial_depth=6)
+        with pytest.raises(ValueError):
+            ClashConfig(initial_depth=25)
+
+    def test_max_depth_bounds(self):
+        with pytest.raises(ValueError):
+            ClashConfig(max_depth=4)  # below initial_depth (6)
+        with pytest.raises(ValueError):
+            ClashConfig(max_depth=25)
+
+    def test_thresholds_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            ClashConfig(overload_threshold=0.5, underload_threshold=0.6)
+
+    def test_positive_capacity_required(self):
+        with pytest.raises(ValueError):
+            ClashConfig(server_capacity=0.0)
+
+    def test_positive_period_required(self):
+        with pytest.raises(ValueError):
+            ClashConfig(load_check_period=0.0)
+
+    def test_negative_query_weight_rejected(self):
+        with pytest.raises(ValueError):
+            ClashConfig(query_load_weight=-1.0)
+
+    def test_bool_rejected_for_int_fields(self):
+        with pytest.raises(TypeError):
+            ClashConfig(key_bits=True)
+
+
+class TestOverrides:
+    def test_with_overrides_returns_new_validated_config(self):
+        config = ClashConfig()
+        updated = config.with_overrides(server_capacity=100.0)
+        assert updated.server_capacity == 100.0
+        assert config.server_capacity != 100.0  # original unchanged
+
+    def test_with_overrides_revalidates(self):
+        with pytest.raises(ValueError):
+            ClashConfig().with_overrides(underload_threshold=0.95)
+
+    def test_config_is_frozen(self):
+        config = ClashConfig()
+        with pytest.raises(AttributeError):
+            config.key_bits = 12  # type: ignore[misc]

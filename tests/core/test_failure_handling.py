@@ -1,0 +1,98 @@
+"""Tests for server-failure recovery in the redirection layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ClashConfig
+from repro.core.protocol import ClashSystem
+from repro.keys.identifier import IdentifierKey
+from repro.util.rng import RandomStream
+
+
+@pytest.fixture
+def system() -> ClashSystem:
+    config = ClashConfig.small_scale()
+    return ClashSystem.create(config, server_count=16, rng=RandomStream(55))
+
+
+def _split_some_groups(system: ClashSystem, count: int, seed: int = 3) -> None:
+    rng = RandomStream(seed)
+    for _ in range(count):
+        groups = list(system.active_groups().items())
+        group, owner = groups[rng.randint(0, len(groups) - 1)]
+        system.server(owner).set_group_rate(group, 3 * system.config.server_capacity)
+        system.split_server(owner)
+
+
+class TestServerFailure:
+    def test_failure_of_unknown_server(self, system: ClashSystem):
+        with pytest.raises(KeyError):
+            system.handle_server_failure("ghost")
+
+    def test_groups_are_reassigned_and_invariants_hold(self, system: ClashSystem):
+        victim = system.active_servers()[0]
+        orphaned = set(system.server(victim).active_groups())
+        reassigned = system.handle_server_failure(victim)
+        assert set(reassigned) == orphaned
+        assert victim not in system.server_names()
+        system.verify_invariants()
+        for group, new_owner in reassigned.items():
+            assert new_owner != victim
+            assert system.owner_of_group(group) == new_owner
+
+    def test_clients_resolve_every_key_after_failure(self, system: ClashSystem):
+        _split_some_groups(system, 20)
+        victim = system.active_servers()[0]
+        system.handle_server_failure(victim)
+        system.verify_invariants()
+        client = system.make_client("post-failure")
+        rng = RandomStream(9)
+        for _ in range(25):
+            key = IdentifierKey(
+                value=rng.randbits(system.config.key_bits), width=system.config.key_bits
+            )
+            result = client.find_group(key, use_cache=False)
+            registry_group, registry_owner = system.find_active_group(key)
+            assert result.group == registry_group
+            assert result.server == registry_owner
+
+    def test_parent_bookkeeping_follows_the_new_child_owner(self, system: ClashSystem):
+        # Force a split so that some surviving parent records a right child.
+        key = IdentifierKey(value=0, width=system.config.key_bits)
+        group, owner = system.find_active_group(key)
+        system.server(owner).set_group_rate(group, 3 * system.config.server_capacity)
+        outcome = system.split_server(owner)
+        assert outcome is not None and outcome.shed
+        child_server = outcome.child_server
+        reassigned = system.handle_server_failure(child_server)
+        assert outcome.right in reassigned
+        new_owner = reassigned[outcome.right]
+        parent_entry = system.server(outcome.parent_server).table.entry(outcome.group)
+        assert parent_entry.right_child_id == new_owner
+        # Consolidation still works through the re-assigned child.
+        for server in system.servers().values():
+            server.reset_interval()
+        report = system.run_load_check()
+        assert report.merge_count >= 0
+        system.verify_invariants()
+
+    def test_sequential_failures_keep_the_system_usable(self, system: ClashSystem):
+        _split_some_groups(system, 15)
+        for _round in range(4):
+            victim = system.active_servers()[0]
+            system.handle_server_failure(victim)
+            system.verify_invariants()
+        assert len(system.server_names()) == 12
+        # Load checks still run without error on the reduced deployment.
+        for server in system.servers().values():
+            server.reset_interval()
+        system.run_load_check()
+        system.verify_invariants()
+
+    def test_failure_counts_signalling_messages(self, system: ClashSystem):
+        system.reset_messages()
+        victim = system.active_servers()[0]
+        orphaned = len(system.server(victim).active_groups())
+        system.handle_server_failure(victim)
+        assert system.messages.total() >= 2 * orphaned

@@ -1,0 +1,86 @@
+"""Unit tests for repro.core.policy."""
+
+from __future__ import annotations
+
+from repro.core.policy import (
+    CoolestGroupMergePolicy,
+    HottestGroupSplitPolicy,
+    RandomGroupSplitPolicy,
+    RoundRobinSplitPolicy,
+)
+from repro.keys.keygroup import KeyGroup
+from repro.util.rng import RandomStream
+
+
+def group(pattern: str) -> KeyGroup:
+    return KeyGroup.from_wildcard(pattern, width=8)
+
+
+LOADS = {
+    group("000*"): 10.0,
+    group("001*"): 50.0,
+    group("01*"): 30.0,
+}
+
+
+class TestHottestGroupSplitPolicy:
+    def test_selects_highest_load(self):
+        assert HottestGroupSplitPolicy().select(LOADS, max_depth=8) == group("001*")
+
+    def test_respects_max_depth(self):
+        loads = {group("00110011"): 99.0, group("01*"): 1.0}
+        assert HottestGroupSplitPolicy().select(loads, max_depth=8) == group("01*")
+
+    def test_returns_none_when_nothing_splittable(self):
+        loads = {group("00110011"): 99.0}
+        assert HottestGroupSplitPolicy().select(loads, max_depth=8) is None
+
+    def test_empty_loads(self):
+        assert HottestGroupSplitPolicy().select({}, max_depth=8) is None
+
+    def test_deterministic_tie_break(self):
+        loads = {group("000*"): 5.0, group("111*"): 5.0}
+        first = HottestGroupSplitPolicy().select(loads, max_depth=8)
+        second = HottestGroupSplitPolicy().select(dict(reversed(list(loads.items()))), max_depth=8)
+        assert first == second
+
+
+class TestRandomGroupSplitPolicy:
+    def test_selects_a_candidate(self):
+        policy = RandomGroupSplitPolicy(RandomStream(5))
+        assert policy.select(LOADS, max_depth=8) in LOADS
+
+    def test_never_selects_unsplittable(self):
+        policy = RandomGroupSplitPolicy(RandomStream(5))
+        loads = {group("00110011"): 10.0, group("01*"): 1.0}
+        for _ in range(20):
+            assert policy.select(loads, max_depth=8) == group("01*")
+
+    def test_empty(self):
+        assert RandomGroupSplitPolicy(RandomStream(1)).select({}, max_depth=8) is None
+
+
+class TestRoundRobinSplitPolicy:
+    def test_cycles_through_candidates(self):
+        policy = RoundRobinSplitPolicy()
+        seen = [policy.select(LOADS, max_depth=8) for _ in range(6)]
+        assert set(seen[:3]) == set(LOADS)
+        assert seen[:3] == seen[3:]
+
+    def test_empty(self):
+        assert RoundRobinSplitPolicy().select({}, max_depth=8) is None
+
+
+class TestCoolestGroupMergePolicy:
+    def test_selects_coldest_below_threshold(self):
+        policy = CoolestGroupMergePolicy()
+        assert policy.select(LOADS, cold_threshold=40.0, min_depth=2) == group("000*")
+
+    def test_ignores_groups_at_min_depth(self):
+        policy = CoolestGroupMergePolicy()
+        loads = {group("00*"): 1.0, group("010*"): 2.0}
+        assert policy.select(loads, cold_threshold=40.0, min_depth=2) == group("010*")
+
+    def test_returns_none_when_nothing_cold(self):
+        policy = CoolestGroupMergePolicy()
+        assert policy.select(LOADS, cold_threshold=5.0, min_depth=0) is None

@@ -1,0 +1,143 @@
+"""Unit tests for range queries over the identifier key space (E9 extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ClashConfig
+from repro.core.protocol import ClashSystem
+from repro.core.range_query import (
+    KeyRange,
+    RangeQueryPlanner,
+    canonical_cover,
+    fixed_depth_replica_count,
+)
+from repro.keys.identifier import IdentifierKey
+from repro.keys.keygroup import KeyGroup
+from repro.util.rng import RandomStream
+
+WIDTH = 12
+
+
+class TestKeyRange:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KeyRange(low=5, high=4, width=WIDTH)
+        with pytest.raises(ValueError):
+            KeyRange(low=0, high=1 << WIDTH, width=WIDTH)
+        with pytest.raises(ValueError):
+            KeyRange(low=-1, high=4, width=WIDTH)
+
+    def test_size_and_contains(self):
+        key_range = KeyRange(low=16, high=31, width=WIDTH)
+        assert key_range.size == 16
+        assert key_range.contains(IdentifierKey(value=20, width=WIDTH))
+        assert not key_range.contains(IdentifierKey(value=32, width=WIDTH))
+
+    def test_from_prefix_round_trip(self):
+        group = KeyGroup.from_wildcard("0110*", width=WIDTH)
+        key_range = KeyRange.from_prefix(group)
+        assert key_range.size == group.size
+        assert key_range.overlaps_group(group)
+
+    def test_overlaps_group(self):
+        key_range = KeyRange(low=0, high=255, width=WIDTH)
+        assert key_range.overlaps_group(KeyGroup.from_wildcard("0000*", width=WIDTH))
+        assert not key_range.overlaps_group(KeyGroup.from_wildcard("1111*", width=WIDTH))
+
+
+class TestCanonicalCover:
+    def test_aligned_range_is_a_single_group(self):
+        group = KeyGroup.from_wildcard("0110*", width=WIDTH)
+        cover = canonical_cover(KeyRange.from_prefix(group))
+        assert cover == [group]
+
+    def test_full_space_is_the_root(self):
+        cover = canonical_cover(KeyRange(low=0, high=(1 << WIDTH) - 1, width=WIDTH))
+        assert cover == [KeyGroup.root(WIDTH)]
+
+    def test_cover_is_disjoint_and_exact(self):
+        key_range = KeyRange(low=37, high=1234, width=WIDTH)
+        cover = canonical_cover(key_range)
+        assert sum(group.size for group in cover) == key_range.size
+        for index, group in enumerate(cover):
+            for other in cover[index + 1 :]:
+                assert not group.overlaps(other)
+        # Every covered key is inside the range.
+        for group in cover:
+            group_range = KeyRange.from_prefix(group)
+            assert group_range.low >= key_range.low
+            assert group_range.high <= key_range.high
+
+    def test_cover_size_is_bounded(self):
+        key_range = KeyRange(low=1, high=(1 << WIDTH) - 2, width=WIDTH)
+        assert len(canonical_cover(key_range)) <= 2 * WIDTH
+
+    def test_single_key_range(self):
+        cover = canonical_cover(KeyRange(low=77, high=77, width=WIDTH))
+        assert len(cover) == 1
+        assert cover[0].depth == WIDTH
+
+
+class TestFixedDepthReplicaCount:
+    def test_counts_prefixes_intersecting_the_range(self):
+        key_range = KeyRange(low=0, high=1023, width=WIDTH)
+        assert fixed_depth_replica_count(key_range, depth=2) == 1
+        assert fixed_depth_replica_count(key_range, depth=4) == 4
+        assert fixed_depth_replica_count(key_range, depth=12) == 1024
+
+    def test_unaligned_range(self):
+        key_range = KeyRange(low=100, high=400, width=WIDTH)
+        assert fixed_depth_replica_count(key_range, depth=WIDTH) == 301
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            fixed_depth_replica_count(KeyRange(low=0, high=1, width=WIDTH), depth=13)
+
+
+class TestRangeQueryPlanner:
+    @pytest.fixture
+    def system(self) -> ClashSystem:
+        config = ClashConfig(
+            key_bits=WIDTH, hash_bits=16, base_bits=4, initial_depth=3, min_depth=2,
+            server_capacity=100.0,
+        )
+        return ClashSystem.create(config, server_count=16, rng=RandomStream(44))
+
+    def test_plan_covers_range_with_active_groups(self, system: ClashSystem):
+        planner = RangeQueryPlanner(system)
+        key_range = KeyRange(low=0, high=1023, width=WIDTH)
+        plan = planner.plan(key_range)
+        assert plan.replica_count >= 1
+        covered = sum(group.size for group in plan.groups)
+        assert covered >= key_range.size
+
+    def test_plan_expands_when_groups_split(self, system: ClashSystem):
+        key_range = KeyRange(low=0, high=511, width=WIDTH)
+        planner = RangeQueryPlanner(system)
+        before = planner.plan(key_range).replica_count
+        # Split the group containing the start of the range a few times.
+        for _ in range(3):
+            key = IdentifierKey(value=5, width=WIDTH)
+            group, owner = system.find_active_group(key)
+            system.server(owner).set_group_rate(group, 3 * system.config.server_capacity)
+            system.split_server(owner)
+        after = planner.plan(key_range).replica_count
+        assert after >= before
+
+    def test_protocol_resolution_charges_messages(self, system: ClashSystem):
+        planner = RangeQueryPlanner(system)
+        plan = planner.plan(KeyRange(low=0, high=255, width=WIDTH), use_protocol=True)
+        assert plan.messages >= 2
+
+    def test_clash_needs_fewer_replicas_than_fine_grained_dht(self, system: ClashSystem):
+        planner = RangeQueryPlanner(system)
+        key_range = KeyRange(low=256, high=2047, width=WIDTH)
+        comparison = planner.compare_with_fixed_depth(key_range, depth=10)
+        assert comparison["reduction_factor"] > 1.0
+        assert comparison["clash_replicas"] <= comparison["fixed_depth_replicas"]
+
+    def test_width_mismatch_rejected(self, system: ClashSystem):
+        planner = RangeQueryPlanner(system)
+        with pytest.raises(ValueError):
+            planner.plan(KeyRange(low=0, high=1, width=WIDTH + 1))

@@ -1,0 +1,58 @@
+"""Property-based tests for range-query planning (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.range_query import KeyRange, canonical_cover, fixed_depth_replica_count
+from repro.keys.identifier import IdentifierKey
+
+WIDTH = 14
+MAX_VALUE = (1 << WIDTH) - 1
+
+
+@st.composite
+def key_ranges(draw):
+    low = draw(st.integers(min_value=0, max_value=MAX_VALUE))
+    high = draw(st.integers(min_value=low, max_value=MAX_VALUE))
+    return KeyRange(low=low, high=high, width=WIDTH)
+
+
+class TestCanonicalCoverProperties:
+    @given(key_range=key_ranges())
+    @settings(max_examples=200)
+    def test_cover_partitions_the_range_exactly(self, key_range: KeyRange):
+        cover = canonical_cover(key_range)
+        assert sum(group.size for group in cover) == key_range.size
+        for index, group in enumerate(cover):
+            for other in cover[index + 1 :]:
+                assert not group.overlaps(other)
+
+    @given(key_range=key_ranges())
+    @settings(max_examples=200)
+    def test_cover_is_within_the_range(self, key_range: KeyRange):
+        for group in canonical_cover(key_range):
+            assert group.virtual_key.value >= key_range.low
+            assert group.virtual_key.value + group.size - 1 <= key_range.high
+
+    @given(key_range=key_ranges())
+    @settings(max_examples=200)
+    def test_cover_size_bound(self, key_range: KeyRange):
+        assert len(canonical_cover(key_range)) <= 2 * WIDTH
+
+    @given(key_range=key_ranges(), value=st.integers(min_value=0, max_value=MAX_VALUE))
+    @settings(max_examples=200)
+    def test_membership_matches_cover(self, key_range: KeyRange, value: int):
+        key = IdentifierKey(value=value, width=WIDTH)
+        in_cover = any(group.contains_key(key) for group in canonical_cover(key_range))
+        assert in_cover == key_range.contains(key)
+
+    @given(key_range=key_ranges(), depth=st.integers(min_value=0, max_value=WIDTH))
+    @settings(max_examples=200)
+    def test_fixed_depth_count_bounds_cover_restricted_to_depth(self, key_range, depth):
+        """The number of depth-d prefixes intersecting the range is monotone in d."""
+        shallower = fixed_depth_replica_count(key_range, depth)
+        if depth < WIDTH:
+            deeper = fixed_depth_replica_count(key_range, depth + 1)
+            assert shallower <= deeper <= 2 * shallower

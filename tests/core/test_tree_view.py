@@ -1,0 +1,92 @@
+"""Unit tests for the splitting-tree and work-table renderers (Figures 1 and 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ClashConfig
+from repro.core.protocol import ClashSystem
+from repro.core.server_table import SELF_PARENT, ServerTable, ServerTableEntry
+from repro.core.tree_view import build_split_tree, render_server_table, render_split_tree
+from repro.keys.keygroup import KeyGroup
+from repro.util.rng import RandomStream
+
+
+@pytest.fixture
+def system() -> ClashSystem:
+    config = ClashConfig(key_bits=7, hash_bits=16, base_bits=3, initial_depth=3, min_depth=2)
+    return ClashSystem.create(config, server_count=12, rng=RandomStream(8))
+
+
+def group(pattern: str, width: int = 7) -> KeyGroup:
+    return KeyGroup.from_wildcard(pattern, width=width)
+
+
+class TestBuildSplitTree:
+    def test_unsplit_group_is_a_leaf(self, system: ClashSystem):
+        root = group("011*")
+        tree = build_split_tree(system, root)
+        assert tree.is_leaf
+        assert tree.owner == system.owner_of_group(root)
+
+    def test_tree_follows_splits(self, system: ClashSystem):
+        root = group("011*")
+        owner = system.owner_of_group(root)
+        system.server(owner).set_group_rate(root, 2 * system.config.server_capacity)
+        system.split_server(owner)
+        tree = build_split_tree(system, root)
+        assert not tree.is_leaf
+        assert len(tree.children) == 2
+        assert [leaf.group.wildcard() for leaf in tree.leaves()] == ["0110*", "0111*"]
+        assert all(leaf.owner is not None for leaf in tree.leaves())
+
+    def test_leaves_cover_the_root(self, system: ClashSystem):
+        root = group("011*")
+        for _ in range(4):
+            groups = [g for g in system.active_groups() if root.contains_group(g)]
+            target = groups[0]
+            owner = system.owner_of_group(target)
+            system.server(owner).set_group_rate(target, 2 * system.config.server_capacity)
+            system.split_server(owner)
+        tree = build_split_tree(system, root)
+        assert sum(leaf.group.size for leaf in tree.leaves()) == root.size
+        minimum, maximum = tree.depth_span()
+        assert minimum >= 3
+        assert maximum > minimum
+
+    def test_missing_cover_raises(self, system: ClashSystem):
+        # A full-depth group outside any active group cannot happen in a
+        # healthy system; simulate it by asking below an empty registry.
+        empty = ClashSystem.create(
+            ClashConfig(key_bits=7, hash_bits=16, base_bits=3, initial_depth=3, min_depth=2),
+            server_count=4,
+            rng=RandomStream(1),
+            bootstrap=False,
+        )
+        with pytest.raises(LookupError):
+            build_split_tree(empty, group("0110101"))
+
+
+class TestRenderers:
+    def test_render_split_tree_marks_leaves_and_interior(self, system: ClashSystem):
+        root = group("011*")
+        owner = system.owner_of_group(root)
+        system.server(owner).set_group_rate(root, 2 * system.config.server_capacity)
+        system.split_server(owner)
+        text = render_split_tree(build_split_tree(system, root))
+        assert "[split]" in text
+        assert "->" in text
+        assert "0110*" in text and "0111*" in text
+
+    def test_render_server_table_matches_figure2_layout(self):
+        table = ServerTable(key_bits=7)
+        table.add_entry(
+            ServerTableEntry(group=group("011*"), parent_id=None, right_child_id="s45", active=False)
+        )
+        table.add_entry(ServerTableEntry(group=group("0110*"), parent_id=SELF_PARENT))
+        text = render_server_table(table, "s25")
+        assert "Server work table for s25" in text
+        assert "VirtualKeyGroup" in text
+        assert "011*" in text
+        assert "-1" in text  # root ParentID rendered as the paper's -1
+        assert "Y" in text and "N" in text

@@ -1,0 +1,100 @@
+"""Unit tests for repro.dht.hashspace."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dht.hashspace import HashSpace
+
+
+class TestBasics:
+    def test_size(self):
+        assert HashSpace(bits=8).size == 256
+        assert HashSpace(bits=24).size == 1 << 24
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            HashSpace(bits=0)
+        with pytest.raises(TypeError):
+            HashSpace(bits="24")
+
+    def test_contains(self):
+        space = HashSpace(bits=4)
+        assert space.contains(0)
+        assert space.contains(15)
+        assert not space.contains(16)
+        assert not space.contains(-1)
+        assert not space.contains(True)
+
+    def test_check_member(self):
+        space = HashSpace(bits=4)
+        space.check_member("x", 7)
+        with pytest.raises(ValueError):
+            space.check_member("x", 16)
+
+    def test_normalise(self):
+        space = HashSpace(bits=4)
+        assert space.normalise(16) == 0
+        assert space.normalise(-1) == 15
+        assert space.normalise(5) == 5
+
+    def test_add_wraps(self):
+        space = HashSpace(bits=4)
+        assert space.add(15, 1) == 0
+        assert space.add(3, 4) == 7
+
+    def test_distance_is_clockwise(self):
+        space = HashSpace(bits=4)
+        assert space.distance(3, 7) == 4
+        assert space.distance(7, 3) == 12
+        assert space.distance(5, 5) == 0
+
+
+class TestIntervals:
+    def test_open_interval_no_wrap(self):
+        space = HashSpace(bits=4)
+        assert space.in_open_interval(5, 3, 7)
+        assert not space.in_open_interval(3, 3, 7)
+        assert not space.in_open_interval(7, 3, 7)
+
+    def test_open_interval_with_wrap(self):
+        space = HashSpace(bits=4)
+        assert space.in_open_interval(1, 14, 3)
+        assert space.in_open_interval(15, 14, 3)
+        assert not space.in_open_interval(7, 14, 3)
+
+    def test_open_interval_degenerate_covers_ring_minus_point(self):
+        space = HashSpace(bits=4)
+        assert space.in_open_interval(5, 9, 9)
+        assert not space.in_open_interval(9, 9, 9)
+
+    def test_half_open_interval_includes_end(self):
+        space = HashSpace(bits=4)
+        assert space.in_half_open_interval(7, 3, 7)
+        assert not space.in_half_open_interval(3, 3, 7)
+
+    def test_half_open_interval_with_wrap(self):
+        space = HashSpace(bits=4)
+        assert space.in_half_open_interval(2, 14, 3)
+        assert space.in_half_open_interval(3, 14, 3)
+        assert not space.in_half_open_interval(14, 14, 3)
+
+    def test_half_open_degenerate_covers_whole_ring(self):
+        space = HashSpace(bits=4)
+        assert space.in_half_open_interval(9, 9, 9)
+        assert space.in_half_open_interval(0, 9, 9)
+
+
+class TestFingerStart:
+    def test_finger_start_values(self):
+        space = HashSpace(bits=4)
+        assert space.finger_start(3, 0) == 4
+        assert space.finger_start(3, 3) == 11
+        assert space.finger_start(15, 1) == 1  # wraps
+
+    def test_finger_index_bounds(self):
+        space = HashSpace(bits=4)
+        with pytest.raises(ValueError):
+            space.finger_start(3, 4)
+        with pytest.raises(ValueError):
+            space.finger_start(3, -1)

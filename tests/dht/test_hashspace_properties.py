@@ -1,0 +1,60 @@
+"""Property-based tests for ring-interval arithmetic (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.hashspace import HashSpace
+
+BITS = 10
+SPACE = HashSpace(bits=BITS)
+points = st.integers(min_value=0, max_value=SPACE.size - 1)
+
+
+class TestIntervalProperties:
+    @given(value=points, start=points, end=points)
+    @settings(max_examples=300)
+    def test_open_interval_matches_rotation(self, value, start, end):
+        """(start, end) membership is invariant under rotating the whole ring."""
+        shift = 123
+        rotated = SPACE.in_open_interval(
+            SPACE.add(value, shift), SPACE.add(start, shift), SPACE.add(end, shift)
+        )
+        assert SPACE.in_open_interval(value, start, end) == rotated
+
+    @given(value=points, start=points, end=points)
+    @settings(max_examples=300)
+    def test_half_open_interval_matches_rotation(self, value, start, end):
+        shift = 321
+        rotated = SPACE.in_half_open_interval(
+            SPACE.add(value, shift), SPACE.add(start, shift), SPACE.add(end, shift)
+        )
+        assert SPACE.in_half_open_interval(value, start, end) == rotated
+
+    @given(value=points, start=points, end=points)
+    @settings(max_examples=300)
+    def test_half_open_is_open_plus_endpoint(self, value, start, end):
+        if start == end:
+            return
+        expected = SPACE.in_open_interval(value, start, end) or value == end
+        assert SPACE.in_half_open_interval(value, start, end) == expected
+
+    @given(start=points, end=points)
+    @settings(max_examples=200)
+    def test_interval_size_matches_distance(self, start, end):
+        """The number of points in (start, end] equals distance(start, end)."""
+        if start == end:
+            return
+        count = sum(
+            1 for value in range(SPACE.size) if SPACE.in_half_open_interval(value, start, end)
+        )
+        assert count == SPACE.distance(start, end)
+
+    @given(a=points, b=points)
+    @settings(max_examples=300)
+    def test_distance_antisymmetry(self, a, b):
+        if a == b:
+            assert SPACE.distance(a, b) == 0
+        else:
+            assert SPACE.distance(a, b) + SPACE.distance(b, a) == SPACE.size

@@ -1,0 +1,60 @@
+"""Unit tests for repro.dht.node."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dht.hashspace import HashSpace
+from repro.dht.node import ChordNode
+
+
+class TestChordNode:
+    def test_successor_requires_successor_list(self):
+        node = ChordNode(node_id=5, name="s0")
+        with pytest.raises(ValueError):
+            _ = node.successor
+        node.successor_list = [9, 12]
+        assert node.successor == 9
+
+    def test_owns_interval(self):
+        space = HashSpace(bits=4)
+        node = ChordNode(node_id=8, name="s0", predecessor=4)
+        assert node.owns(space, 8)
+        assert node.owns(space, 5)
+        assert not node.owns(space, 4)
+        assert not node.owns(space, 9)
+
+    def test_owns_with_wraparound(self):
+        space = HashSpace(bits=4)
+        node = ChordNode(node_id=1, name="s0", predecessor=13)
+        assert node.owns(space, 0)
+        assert node.owns(space, 14)
+        assert node.owns(space, 1)
+        assert not node.owns(space, 7)
+
+    def test_owns_requires_predecessor(self):
+        space = HashSpace(bits=4)
+        with pytest.raises(ValueError):
+            ChordNode(node_id=1, name="s0").owns(space, 0)
+
+    def test_closest_preceding_finger(self):
+        space = HashSpace(bits=4)
+        node = ChordNode(node_id=0, name="s0", fingers=[2, 2, 5, 9])
+        # Target 8: finger 5 is the closest one strictly inside (0, 8).
+        assert node.closest_preceding_finger(space, 8) == 5
+        # Target 12: finger 9 precedes it.
+        assert node.closest_preceding_finger(space, 12) == 9
+        # Target 1: no finger in (0, 1) -> fall back to self.
+        assert node.closest_preceding_finger(space, 1) == 0
+
+    def test_closest_preceding_finger_empty_table(self):
+        space = HashSpace(bits=4)
+        node = ChordNode(node_id=3, name="s0")
+        assert node.closest_preceding_finger(space, 9) == 3
+
+    def test_describe(self):
+        node = ChordNode(node_id=7, name="s7", successor_list=[9], predecessor=5, fingers=[9])
+        snapshot = node.describe()
+        assert snapshot["name"] == "s7"
+        assert snapshot["successor"] == 9
+        assert snapshot["finger_count"] == 1

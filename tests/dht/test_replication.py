@@ -1,0 +1,81 @@
+"""Unit tests for repro.dht.replication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dht.hashspace import HashSpace
+from repro.dht.replication import ReplicationManager
+from repro.dht.ring import ChordRing
+from repro.keys.identifier import IdentifierKey
+from repro.util.rng import RandomStream
+
+
+@pytest.fixture
+def ring() -> ChordRing:
+    return ChordRing.build(node_count=12, space=HashSpace(bits=16), rng=RandomStream(21))
+
+
+@pytest.fixture
+def manager(ring: ChordRing) -> ReplicationManager:
+    return ReplicationManager(ring, replica_count=3)
+
+
+def _key(value: int) -> IdentifierKey:
+    return IdentifierKey(value=value, width=24)
+
+
+class TestReplication:
+    def test_store_places_replica_count_copies(self, manager: ReplicationManager):
+        holders = manager.store(_key(1), "payload-1")
+        assert len(holders) == 3
+        assert len(set(holders)) == 3
+
+    def test_fetch_returns_stored_value(self, manager: ReplicationManager):
+        manager.store(_key(2), {"data": 42})
+        assert manager.fetch(_key(2)) == {"data": 42}
+
+    def test_fetch_unknown_key_raises(self, manager: ReplicationManager):
+        with pytest.raises(KeyError):
+            manager.fetch(_key(3))
+
+    def test_holders_listed(self, manager: ReplicationManager):
+        stored = manager.store(_key(4), "x")
+        assert manager.holders(_key(4)) == stored
+
+    def test_primary_is_ring_owner(self, manager: ReplicationManager, ring: ChordRing):
+        key = _key(5)
+        holders = manager.store(key, "x")
+        assert holders[0] == ring.owner_of(ring.hash_function.hash_key(key))
+
+    def test_objects_per_node_counts_copies(self, manager: ReplicationManager):
+        for value in range(20):
+            manager.store(_key(value), value)
+        counts = manager.objects_per_node()
+        assert sum(counts.values()) == 20 * 3
+
+    def test_object_survives_single_failure(self, manager: ReplicationManager, ring: ChordRing):
+        key = _key(6)
+        holders = manager.store(key, "precious")
+        manager.handle_node_failure(holders[0])
+        assert manager.fetch(key) == "precious"
+        new_holders = manager.holders(key)
+        assert holders[0] not in new_holders
+        assert len(new_holders) == 3
+
+    def test_failure_repairs_only_affected_objects(self, manager: ReplicationManager):
+        keys = [_key(value) for value in range(30)]
+        for key in keys:
+            manager.store(key, "v")
+        victim = manager.holders(keys[0])[0]
+        affected = sum(1 for key in keys if victim in manager.holders(key))
+        repaired = manager.handle_node_failure(victim)
+        assert repaired == affected
+
+    def test_failure_of_unknown_node_raises(self, manager: ReplicationManager):
+        with pytest.raises(KeyError):
+            manager.handle_node_failure("ghost")
+
+    def test_replica_count_validation(self, ring: ChordRing):
+        with pytest.raises(ValueError):
+            ReplicationManager(ring, replica_count=0)

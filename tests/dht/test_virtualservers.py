@@ -1,0 +1,91 @@
+"""Unit tests for repro.dht.virtualservers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dht.hashspace import HashSpace
+from repro.dht.virtualservers import PhysicalServer, VirtualServerAllocator
+from repro.util.rng import RandomStream
+
+
+class TestPhysicalServer:
+    def test_defaults(self):
+        server = PhysicalServer(name="m0")
+        assert server.capacity == 1.0
+        assert server.virtual_nodes == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhysicalServer(name="")
+        with pytest.raises(ValueError):
+            PhysicalServer(name="m0", capacity=0.0)
+
+
+class TestVirtualServerAllocator:
+    def test_default_allocation_is_log_of_server_count(self):
+        space = HashSpace(bits=20)
+        allocator = VirtualServerAllocator(space=space)
+        servers = [PhysicalServer(name=f"m{i}") for i in range(16)]
+        allocator.build_ring(servers, rng=RandomStream(3))
+        # ceil(log2(16)) = 4 virtual nodes per unit-capacity server.
+        assert all(len(server.virtual_nodes) == 4 for server in servers)
+
+    def test_capacity_proportional_allocation(self):
+        space = HashSpace(bits=20)
+        allocator = VirtualServerAllocator(space=space, virtuals_per_unit_capacity=4)
+        small = PhysicalServer(name="small", capacity=1.0)
+        big = PhysicalServer(name="big", capacity=3.0)
+        allocator.build_ring([small, big], rng=RandomStream(4))
+        assert len(small.virtual_nodes) == 4
+        assert len(big.virtual_nodes) == 12
+
+    def test_virtual_names_resolve_to_physical_owner(self):
+        assert VirtualServerAllocator.physical_owner("m3#7") == "m3"
+        with pytest.raises(ValueError):
+            VirtualServerAllocator.physical_owner("m3")
+
+    def test_ring_contains_all_virtual_nodes(self):
+        space = HashSpace(bits=20)
+        allocator = VirtualServerAllocator(space=space, virtuals_per_unit_capacity=2)
+        servers = [PhysicalServer(name=f"m{i}") for i in range(8)]
+        ring = allocator.build_ring(servers, rng=RandomStream(5))
+        assert len(ring) == 16
+
+    def test_unique_names_required(self):
+        space = HashSpace(bits=20)
+        allocator = VirtualServerAllocator(space=space)
+        with pytest.raises(ValueError):
+            allocator.build_ring([PhysicalServer(name="m"), PhysicalServer(name="m")])
+
+    def test_empty_server_list_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualServerAllocator(space=HashSpace(bits=8)).build_ring([])
+
+    def test_virtual_servers_smooth_the_partition(self):
+        """More virtual servers per node -> a more even hash-space split."""
+        space = HashSpace(bits=20)
+        servers_single = [PhysicalServer(name=f"m{i}") for i in range(16)]
+        ring_single = VirtualServerAllocator(space=space, virtuals_per_unit_capacity=1).build_ring(
+            servers_single, rng=RandomStream(6)
+        )
+        share_single = VirtualServerAllocator.fraction_of_space(ring_single, servers_single)
+
+        servers_many = [PhysicalServer(name=f"m{i}") for i in range(16)]
+        ring_many = VirtualServerAllocator(space=space, virtuals_per_unit_capacity=16).build_ring(
+            servers_many, rng=RandomStream(6)
+        )
+        share_many = VirtualServerAllocator.fraction_of_space(ring_many, servers_many)
+
+        assert abs(sum(share_single.values()) - 1.0) < 1e-9
+        assert abs(sum(share_many.values()) - 1.0) < 1e-9
+        assert max(share_many.values()) < max(share_single.values())
+
+    def test_capacity_skews_ownership(self):
+        space = HashSpace(bits=20)
+        allocator = VirtualServerAllocator(space=space, virtuals_per_unit_capacity=8)
+        small = PhysicalServer(name="small", capacity=1.0)
+        big = PhysicalServer(name="big", capacity=4.0)
+        ring = allocator.build_ring([small, big], rng=RandomStream(7))
+        shares = VirtualServerAllocator.fraction_of_space(ring, [small, big])
+        assert shares["big"] > shares["small"]

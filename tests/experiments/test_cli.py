@@ -1,0 +1,69 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_figure(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig3"])
+        assert args.figure == "fig3"
+        assert args.scale_factor == 10
+        assert not args.paper_scale
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+
+class TestMain:
+    def test_fig1_writes_report(self, tmp_path: pathlib.Path, capsys):
+        exit_code = main(["fig1", "--output-dir", str(tmp_path)])
+        assert exit_code == 0
+        report = tmp_path / "figure1_figure2.txt"
+        assert report.exists()
+        content = report.read_text()
+        assert "Figure 1" in content and "Figure 2" in content
+        printed = capsys.readouterr().out
+        assert "report file(s) written" in printed
+
+    def test_fig3_quiet_mode_only_writes(self, tmp_path: pathlib.Path, capsys):
+        exit_code = main(["fig3", "--output-dir", str(tmp_path), "--quiet"])
+        assert exit_code == 0
+        assert (tmp_path / "figure3.txt").exists()
+        assert capsys.readouterr().out == ""
+
+    def test_fig4_writes_table_and_csv(self, tmp_path: pathlib.Path):
+        exit_code = main(
+            [
+                "fig4",
+                "--output-dir",
+                str(tmp_path),
+                "--scale-factor",
+                "50",
+                "--phase-periods",
+                "2",
+                "--quiet",
+            ]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "figure4.txt").exists()
+        csv_text = (tmp_path / "figure4_max_load_series.csv").read_text()
+        assert csv_text.startswith("time,")
+        assert "CLASH" not in csv_text.splitlines()[1]  # data rows are numeric
+
+    def test_custom_seed_changes_nothing_structural(self, tmp_path: pathlib.Path):
+        exit_code = main(["fig1", "--output-dir", str(tmp_path), "--seed", "7", "--quiet"])
+        assert exit_code == 0
+        content = (tmp_path / "figure1_figure2.txt").read_text()
+        assert "0110*" in content

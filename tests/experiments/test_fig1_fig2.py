@@ -1,0 +1,41 @@
+"""Tests for the Figure 1 / Figure 2 structural reproduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig1_fig2 import run_figure1_figure2
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_figure1_figure2(seed=20040324)
+
+
+class TestFigure1:
+    def test_tree_has_the_papers_leaf_set(self, result):
+        # Figure 1's leaves after three splits: 0110*, 011100*, 011101*, 01111*.
+        assert result.leaf_groups == ["0110*", "011100*", "011101*", "01111*"]
+
+    def test_leaves_have_owners(self, result):
+        assert len(result.leaf_owners) == 4
+        assert all(owner for owner in result.leaf_owners)
+
+    def test_tree_text_mentions_every_leaf(self, result):
+        for pattern in result.leaf_groups:
+            assert pattern in result.tree_text
+        assert "[split]" in result.tree_text
+
+
+class TestFigure2:
+    def test_table_text_has_figure2_columns(self, result):
+        for column in ["VirtualKeyGroup", "Depth", "ParentID", "RightChildID", "Active"]:
+            assert column in result.table_text
+
+    def test_root_server_still_manages_the_left_spine(self, result):
+        # After splitting 011*, the root server keeps 0110* (same virtual key).
+        assert "0110*" in result.table_text
+        assert result.root_server in result.table_text
+
+    def test_root_entry_rendered_with_minus_one_parent(self, result):
+        assert "-1" in result.table_text

@@ -1,0 +1,57 @@
+"""Tests for the Figure 3 experiment driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig3 import run_figure3
+from repro.experiments.reporting import render_figure3
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_figure3(population=100_000, sample_size=4000, seed=3)
+
+
+class TestFigure3:
+    def test_all_three_workloads_present(self, result):
+        assert result.workload_names == ["A", "B", "C"]
+        assert set(result.counts) == {"A", "B", "C"}
+
+    def test_expected_counts_sum_to_population(self, result):
+        for name in result.workload_names:
+            assert sum(result.counts[name]) == pytest.approx(100_000, rel=1e-6)
+
+    def test_sampled_counts_sum_to_sample_size(self, result):
+        for name in result.workload_names:
+            assert sum(result.sampled_counts[name]) == 4000
+
+    def test_skew_ordering(self, result):
+        assert (
+            result.skew["A"]["max_over_mean"]
+            < result.skew["B"]["max_over_mean"]
+            < result.skew["C"]["max_over_mean"]
+        )
+
+    def test_sampled_distribution_tracks_expected_peak(self, result):
+        hottest = result.hottest_value("C")
+        sampled = result.sampled_counts["C"]
+        # The empirical histogram's peak should sit near the analytic peak.
+        peak_region = range(max(0, hottest - 8), min(256, hottest + 9))
+        assert sum(sampled[i] for i in peak_region) > 0.15 * sum(sampled)
+
+    def test_workload_a_sample_is_roughly_flat(self, result):
+        sampled = result.sampled_counts["A"]
+        mean_count = sum(sampled) / len(sampled)
+        assert max(sampled) < 4 * mean_count
+
+    def test_render_contains_tables(self, result):
+        text = render_figure3(result)
+        assert "workload A" in text
+        assert "Skew statistics" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_figure3(population=0)
+        with pytest.raises(ValueError):
+            run_figure3(sample_size=0)

@@ -1,0 +1,67 @@
+"""Tests for the Figure 4 experiment driver (scaled-down, qualitative shape).
+
+These tests assert the *comparative shape* the paper reports rather than
+absolute numbers: CLASH bounds the worst-case server load under skew while
+using far fewer servers than fine-grained DHT, and the CLASH tree deepens as
+load and skew grow.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig4 import run_figure4
+from repro.experiments.reporting import render_figure4
+from repro.experiments.runner import ExperimentScale
+
+
+@pytest.fixture(scope="module")
+def result():
+    scale = ExperimentScale.scaled(factor=50, phase_periods=3)
+    return run_figure4(scale, fixed_depths=(6, 12))
+
+
+class TestFigure4Shape:
+    def test_all_systems_present(self, result):
+        assert set(result.labels()) == {"CLASH", "DHT(6)", "DHT(12)"}
+
+    def test_series_cover_all_periods(self, result):
+        for label, series in result.max_load_series().items():
+            assert len(series) == 9  # 3 phases x 3 periods
+
+    def test_clash_bounds_hotspots_better_than_coarse_dht(self, result):
+        clash_peak = result.clash_peak_load()
+        dht6_peak = result.baseline_peak_load("DHT(6)")
+        assert dht6_peak > 2 * clash_peak
+
+    def test_fine_dht_uses_many_more_servers_than_clash(self, result):
+        advantage = result.server_utilisation_advantage("DHT(12)")
+        assert advantage > 1.5
+
+    def test_clash_average_utilisation_beats_fine_dht(self, result):
+        clash_avg = [
+            phase.mean_avg_load_percent for phase in result.results["CLASH"].phase_summaries()
+        ]
+        dht12_avg = [
+            phase.mean_avg_load_percent for phase in result.results["DHT(12)"].phase_summaries()
+        ]
+        assert sum(clash_avg) > sum(dht12_avg)
+
+    def test_clash_depth_grows_with_skew_and_load(self, result):
+        depth_series = result.depth_series()
+        assert depth_series["max"].values[-1] >= depth_series["max"].values[0]
+        summaries = result.results["CLASH"].phase_summaries()
+        by_name = {summary.workload: summary for summary in summaries}
+        assert by_name["C"].mean_depth >= by_name["A"].mean_depth
+        # The tree becomes more unbalanced as skew grows (depth spread widens).
+        assert by_name["C"].depth_spread >= by_name["A"].depth_spread
+
+    def test_active_servers_table_has_all_phases(self, result):
+        table = result.active_servers_by_phase()
+        for label in result.labels():
+            assert set(table[label]) == {"A", "B", "C"}
+
+    def test_render_mentions_every_system(self, result):
+        text = render_figure4(result)
+        for label in result.labels():
+            assert label in text

@@ -1,0 +1,57 @@
+"""Tests for the Figure 5 experiment driver (communication overhead)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig5 import _mean_rate, run_figure5
+from repro.experiments.reporting import render_figure5
+from repro.experiments.runner import ExperimentScale
+
+
+@pytest.fixture(scope="module")
+def result():
+    scale = ExperimentScale.scaled(factor=50, phase_periods=2)
+    return run_figure5(scale, stream_lengths=(50.0, 1000.0), include_query_clients=True)
+
+
+class TestFigure5Shape:
+    def test_four_cases_present(self, result):
+        assert len(result.cases) == 4
+        stream_lengths = {case.mean_stream_length for case in result.cases}
+        assert stream_lengths == {50.0, 1000.0}
+        assert any(case.query_clients > 0 for case in result.cases)
+        assert any(case.query_clients == 0 for case in result.cases)
+
+    def test_each_case_reports_all_workloads(self, result):
+        for case in result.cases:
+            assert set(case.messages_per_server_per_second()) == {"A", "B", "C"}
+
+    def test_short_streams_cost_more_than_long_streams(self, result):
+        ratio = result.overhead_ratio_short_vs_long_streams(with_queries=False)
+        assert ratio > 2.0
+
+    def test_rates_are_modest_per_server(self, result):
+        """The paper reports ~1–12 messages/sec/server; we stay the same order."""
+        for case in result.cases:
+            for rate in case.messages_per_server_per_second().values():
+                assert 0.0 < rate < 100.0
+
+    def test_query_clients_add_overhead(self, result):
+        # The query population adds lookup arrivals and state-transfer traffic;
+        # allow a small tolerance because the per-lookup cost is estimated from
+        # a finite sample of real searches.
+        increment = result.state_transfer_increment(mean_stream_length=1000.0)
+        without = result.case(1000.0, with_queries=False)
+        assert increment > -0.25 * _mean_rate(without)
+
+    def test_case_lookup_and_errors(self, result):
+        case = result.case(50.0, with_queries=False)
+        assert case.query_clients == 0
+        with pytest.raises(KeyError):
+            result.case(123.0, with_queries=False)
+
+    def test_render_contains_case_rows(self, result):
+        text = render_figure5(result)
+        assert "Ld" in text
+        assert "messages/sec/server" in text

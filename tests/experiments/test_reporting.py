@@ -1,0 +1,62 @@
+"""Unit tests for the text reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import format_series, format_table, series_to_csv
+from repro.util.stats import TimeSeries
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(["name", "value"], [["a", 1], ["longer-name", 2.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+        assert "2.50" in lines[3]
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[3.14159]])
+        assert "3.14" in text
+        assert "3.14159" not in text
+
+
+class TestFormatSeries:
+    def test_times_rendered_in_hours(self):
+        series = TimeSeries(name="max_load")
+        series.append(3600.0, 42.0)
+        text = format_series(series)
+        assert "max_load" in text
+        assert "t=  1.00" in text
+        assert "42.00" in text
+
+
+class TestSeriesToCsv:
+    def test_header_and_rows(self):
+        a = TimeSeries(name="clash")
+        b = TimeSeries(name="dht6")
+        for t, (va, vb) in zip([0.0, 3600.0], [(1.0, 2.0), (3.0, 4.0)]):
+            a.append(t, va)
+            b.append(t, vb)
+        csv_text = series_to_csv([a, b])
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "time,clash,dht6"
+        assert lines[1].startswith("0.0000,1.0000,2.0000")
+        assert len(lines) == 3
+
+    def test_mismatched_lengths_rejected(self):
+        a = TimeSeries(name="a")
+        a.append(0.0, 1.0)
+        b = TimeSeries(name="b")
+        with pytest.raises(ValueError):
+            series_to_csv([a, b])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            series_to_csv([])

@@ -1,0 +1,74 @@
+"""Unit tests for the experiment scale presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentScale, scaled_setup
+
+
+class TestExperimentScale:
+    def test_paper_scale_matches_section_6_1(self):
+        scale = ExperimentScale.paper(query_clients=True)
+        assert scale.server_count == 1000
+        assert scale.source_count == 100_000
+        assert scale.query_client_count == 50_000
+        assert scale.phase_duration == 7200.0
+        assert scale.load_check_period == 300.0
+
+    def test_scaled_preserves_per_group_load_fraction(self):
+        paper = ExperimentScale.paper()
+        scaled = ExperimentScale.scaled(10)
+        paper_fraction = paper.source_count / paper.server_capacity
+        scaled_fraction = scaled.source_count / scaled.server_capacity
+        assert scaled_fraction == pytest.approx(paper_fraction)
+
+    def test_scaled_keeps_spare_capacity(self):
+        scale = ExperimentScale.scaled(20)
+        # Peak offered load (workload B/C: 2 pkt/s per source) must stay well
+        # below the aggregate capacity, as it does at paper scale.
+        peak_load = 2.0 * scale.source_count
+        total_capacity = scale.server_count * scale.server_capacity
+        assert peak_load < 0.5 * total_capacity
+
+    def test_config_uses_scale_capacity_and_period(self):
+        scale = ExperimentScale.scaled(10)
+        config = scale.config()
+        assert config.server_capacity == pytest.approx(scale.server_capacity)
+        assert config.load_check_period == pytest.approx(scale.load_check_period)
+
+    def test_config_overrides(self):
+        config = ExperimentScale.scaled(10).config(initial_depth=8)
+        assert config.initial_depth == 8
+
+    def test_params_reflect_scale(self):
+        scale = ExperimentScale.scaled(10, query_clients=True)
+        params = scale.params(mean_stream_length=50.0)
+        assert params.server_count == scale.server_count
+        assert params.source_count == scale.source_count
+        assert params.query_client_count == scale.query_client_count
+        assert params.mean_stream_length == 50.0
+
+    def test_scenario_duration(self):
+        scale = ExperimentScale.scaled(10, phase_periods=4)
+        scenario = scale.scenario()
+        assert scenario.total_duration == pytest.approx(3 * 4 * 300.0)
+
+    def test_scaled_setup_consistency(self):
+        config, params, scenario = scaled_setup(factor=25, phase_periods=2)
+        assert config.server_capacity == pytest.approx(
+            4000.0 * params.source_count / 100_000
+        )
+        assert scenario.total_duration == pytest.approx(3 * 2 * 300.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(
+                name="bad", server_count=0, source_count=1, query_client_count=0,
+                server_capacity=1.0, phase_duration=1.0, load_check_period=1.0,
+            )
+        with pytest.raises(ValueError):
+            ExperimentScale(
+                name="bad", server_count=1, source_count=1, query_client_count=-1,
+                server_capacity=1.0, phase_duration=1.0, load_check_period=1.0,
+            )

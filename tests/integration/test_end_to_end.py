@@ -1,0 +1,161 @@
+"""End-to-end integration tests combining every layer of the library.
+
+These tests exercise realistic mini-deployments: quad-tree keys, the client
+message protocol, server splitting/consolidation, the Chord substrate and the
+workload generators, all together.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.query_store import Query
+from repro.core.config import ClashConfig
+from repro.core.protocol import ClashSystem
+from repro.keys.identifier import IdentifierKey
+from repro.keys.quadtree import QuadTreeEncoder
+from repro.util.rng import RandomStream, SeedSequenceFactory
+from repro.workload.distributions import workload_c
+from repro.workload.sources import SourcePopulation
+
+
+@pytest.fixture
+def deployment() -> ClashSystem:
+    config = ClashConfig(
+        key_bits=16,
+        hash_bits=20,
+        base_bits=4,
+        initial_depth=4,
+        min_depth=2,
+        server_capacity=200.0,
+        query_load_weight=1.0,
+    )
+    return ClashSystem.create(config, server_count=32, rng=RandomStream(1234))
+
+
+class TestGeographicWorkload:
+    def test_hotspot_splits_only_the_hot_region(self, deployment: ClashSystem):
+        config = deployment.config
+        encoder = QuadTreeEncoder(levels=config.key_bits // 2)
+        hot_key = encoder.encode(0.8, 0.8)
+        cold_key = encoder.encode(0.1, 0.1)
+        hot_group, hot_owner = deployment.find_active_group(hot_key)
+        cold_group, _cold_owner = deployment.find_active_group(cold_key)
+        initial_depth = hot_group.depth
+
+        deployment.server(hot_owner).set_group_rate(hot_group, 3 * config.server_capacity)
+        deployment.run_load_check(max_splits_per_server=8)
+
+        new_hot_group, _ = deployment.find_active_group(hot_key)
+        new_cold_group, _ = deployment.find_active_group(cold_key)
+        assert new_hot_group.depth > initial_depth
+        assert new_cold_group == cold_group
+        deployment.verify_invariants()
+
+    def test_client_follows_the_hot_region_through_splits(self, deployment: ClashSystem):
+        config = deployment.config
+        encoder = QuadTreeEncoder(levels=config.key_bits // 2)
+        client = deployment.make_client("tracker")
+        hot_key = encoder.encode(0.8, 0.8)
+        first = client.find_group(hot_key)
+        deployment.server(first.server).set_group_rate(
+            first.group, 3 * config.server_capacity
+        )
+        deployment.run_load_check(max_splits_per_server=8)
+        second = client.handle_redirect(hot_key)
+        registry_group, registry_owner = deployment.find_active_group(hot_key)
+        assert second.group == registry_group
+        assert second.server == registry_owner
+
+
+class TestQueryMigration:
+    def test_queries_follow_their_key_groups_across_splits_and_merges(
+        self, deployment: ClashSystem
+    ):
+        config = deployment.config
+        rng = RandomStream(5)
+        client = deployment.make_client("subscriber")
+        registered: list[Query] = []
+        for query_id in range(40):
+            key = IdentifierKey(value=rng.randbits(config.key_bits), width=config.key_bits)
+            resolution = client.find_group(key, use_cache=False)
+            query = Query(query_id=query_id, key=key, client="subscriber")
+            deployment.server(resolution.server).store_query(query)
+            registered.append(query)
+
+        # Split a few random groups, then cool down and merge everything back.
+        for _ in range(15):
+            groups = list(deployment.active_groups().items())
+            group, owner = groups[rng.randint(0, len(groups) - 1)]
+            deployment.server(owner).set_group_rate(group, 3 * config.server_capacity)
+            deployment.split_server(owner)
+        for _ in range(20):
+            for server in deployment.servers().values():
+                server.reset_interval()
+            if deployment.run_load_check().merge_count == 0:
+                break
+        deployment.verify_invariants()
+
+        # Every query must still be stored exactly once, on the server that
+        # currently manages its key.
+        total_stored = sum(
+            len(server.query_store) for server in deployment.servers().values()
+        )
+        assert total_stored == len(registered)
+        for query in registered:
+            _group, owner = deployment.find_active_group(query.key)
+            assert query.query_id in deployment.server(owner).query_store
+
+
+class TestSkewedSourcePopulation:
+    def test_skewed_sources_drive_depth_where_the_skew_is(self, deployment: ClashSystem):
+        config = deployment.config
+        seeds = SeedSequenceFactory(777)
+        population = SourcePopulation(
+            count=400,
+            spec=workload_c(base_bits=config.base_bits),
+            key_bits=config.key_bits,
+            mean_stream_length=100.0,
+            rng=seeds.stream("sources"),
+        )
+        generator = population.make_key_generator()
+        # Aggregate the sources' keys into per-group rates.
+        for _round in range(6):
+            for server in deployment.servers().values():
+                server.reset_interval()
+            for _ in range(population.count):
+                key = generator.generate()
+                group, owner = deployment.find_active_group(key)
+                deployment.server(owner).add_group_rate(group, 2.0)
+            deployment.run_load_check(max_splits_per_server=4)
+        deployment.verify_invariants()
+        depths = {group.depth for group in deployment.active_groups()}
+        assert max(depths) > config.initial_depth
+        # The deepest groups must sit under the workload's hot base values.
+        spec = population.spec
+        deep_groups = [
+            group for group in deployment.active_groups() if group.depth == max(depths)
+        ]
+        hot_share = max(
+            spec.prefix_probability(group.prefix >> (group.depth - config.base_bits), config.base_bits)
+            if group.depth >= config.base_bits
+            else spec.prefix_probability(group.prefix, group.depth)
+            for group in deep_groups
+        )
+        mean_share = 1.0 / (1 << config.base_bits)
+        assert hot_share > mean_share
+
+
+class TestChurnResilience:
+    def test_server_pool_can_grow_mid_run(self, deployment: ClashSystem):
+        """New servers joining the ring become candidates for future splits."""
+        config = deployment.config
+        deployment.ring.add_node("late-joiner")
+        deployment.ring.stabilise()
+        # The redirection layer still works for every key.
+        client = deployment.make_client("after-join")
+        rng = RandomStream(9)
+        for _ in range(10):
+            key = IdentifierKey(value=rng.randbits(config.key_bits), width=config.key_bits)
+            result = client.find_group(key, use_cache=False)
+            assert result.group.contains_key(key)

@@ -1,0 +1,29 @@
+"""Smoke tests: every bundled example must run to completion."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda path: path.name)
+def test_example_runs_cleanly(example: pathlib.Path):
+    completed = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip(), "examples should print a report"
+
+
+def test_examples_directory_has_at_least_three_scenarios():
+    assert len(EXAMPLES) >= 3
+    assert any(path.name == "quickstart.py" for path in EXAMPLES)

@@ -1,0 +1,135 @@
+"""Unit tests for repro.keys.identifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.keys.identifier import IdentifierKey, RandomKeyGenerator
+from repro.util.rng import RandomStream
+
+
+class TestIdentifierKey:
+    def test_construction_and_bits(self):
+        key = IdentifierKey(value=0b0110101, width=7)
+        assert key.bits() == "0110101"
+        assert str(key) == "0110101"
+
+    def test_from_bits_round_trip(self):
+        key = IdentifierKey.from_bits("0110101")
+        assert key.value == 0b0110101
+        assert key.width == 7
+
+    def test_from_bits_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            IdentifierKey.from_bits("01x0")
+        with pytest.raises(ValueError):
+            IdentifierKey.from_bits("")
+
+    def test_value_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            IdentifierKey(value=128, width=7)
+        with pytest.raises(ValueError):
+            IdentifierKey(value=-1, width=7)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            IdentifierKey(value=0, width=0)
+
+    def test_prefix(self):
+        key = IdentifierKey.from_bits("0110101")
+        assert key.prefix(4) == 0b0110
+        assert key.prefix(0) == 0
+        assert key.prefix(7) == key.value
+
+    def test_common_prefix_length(self):
+        a = IdentifierKey.from_bits("0110101")
+        b = IdentifierKey.from_bits("0110111")
+        assert a.common_prefix_length(b) == 5
+
+    def test_common_prefix_length_requires_same_width(self):
+        a = IdentifierKey.from_bits("0110101")
+        b = IdentifierKey.from_bits("0110")
+        with pytest.raises(ValueError):
+            a.common_prefix_length(b)
+
+    def test_with_base_replaces_leading_bits(self):
+        key = IdentifierKey.from_bits("0000111")
+        replaced = key.with_base(0b101, 3)
+        assert replaced.bits() == "1010111"
+
+    def test_with_base_validation(self):
+        key = IdentifierKey.from_bits("0000111")
+        with pytest.raises(ValueError):
+            key.with_base(8, 3)
+        with pytest.raises(ValueError):
+            key.with_base(0, 8)
+
+    def test_ordering_and_hashability(self):
+        a = IdentifierKey(value=3, width=8)
+        b = IdentifierKey(value=5, width=8)
+        assert a < b
+        assert len({a, b, IdentifierKey(value=3, width=8)}) == 2
+
+
+class TestRandomKeyGenerator:
+    def test_uniform_generation_fits_width(self):
+        rng = RandomStream(1)
+        generator = RandomKeyGenerator(width=24, base_bits=8, rng=rng)
+        for _ in range(100):
+            key = generator.generate()
+            assert key.width == 24
+            assert 0 <= key.value < (1 << 24)
+
+    def test_skewed_base_respected(self):
+        rng = RandomStream(2)
+        weights = [0.0] * 256
+        weights[17] = 1.0
+        generator = RandomKeyGenerator(width=24, base_bits=8, rng=rng, base_weights=weights)
+        for key in generator.generate_many(50):
+            assert key.prefix(8) == 17
+
+    def test_generate_many_count(self):
+        rng = RandomStream(3)
+        generator = RandomKeyGenerator(width=12, base_bits=4, rng=rng)
+        assert len(generator.generate_many(7)) == 7
+        assert generator.generate_many(0) == []
+        with pytest.raises(ValueError):
+            generator.generate_many(-1)
+
+    def test_set_base_weights_switches_skew(self):
+        rng = RandomStream(4)
+        generator = RandomKeyGenerator(width=12, base_bits=4, rng=rng)
+        weights = [0.0] * 16
+        weights[3] = 1.0
+        generator.set_base_weights(weights)
+        assert all(key.prefix(4) == 3 for key in generator.generate_many(20))
+        generator.set_base_weights(None)
+        prefixes = {key.prefix(4) for key in generator.generate_many(200)}
+        assert len(prefixes) > 1
+
+    def test_weight_length_validation(self):
+        rng = RandomStream(5)
+        with pytest.raises(ValueError):
+            RandomKeyGenerator(width=12, base_bits=4, rng=rng, base_weights=[1.0] * 15)
+        generator = RandomKeyGenerator(width=12, base_bits=4, rng=rng)
+        with pytest.raises(ValueError):
+            generator.set_base_weights([1.0] * 3)
+
+    def test_base_bits_bounds(self):
+        rng = RandomStream(6)
+        with pytest.raises(ValueError):
+            RandomKeyGenerator(width=8, base_bits=9, rng=rng)
+        generator = RandomKeyGenerator(width=8, base_bits=0, rng=rng)
+        assert generator.generate().width == 8
+
+    def test_zero_base_bits_is_fully_uniform(self):
+        rng = RandomStream(7)
+        generator = RandomKeyGenerator(width=10, base_bits=0, rng=rng)
+        values = {generator.generate().value for _ in range(200)}
+        assert len(values) > 50
+
+    def test_properties(self):
+        rng = RandomStream(8)
+        generator = RandomKeyGenerator(width=24, base_bits=8, rng=rng)
+        assert generator.width == 24
+        assert generator.base_bits == 8

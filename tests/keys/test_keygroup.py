@@ -1,0 +1,202 @@
+"""Unit tests for repro.keys.keygroup (the paper's Section 4 examples)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.keys.identifier import IdentifierKey
+from repro.keys.keygroup import KeyGroup
+
+
+class TestConstruction:
+    def test_root_group(self):
+        root = KeyGroup.root(width=7)
+        assert root.depth == 0
+        assert root.size == 128
+        assert root.wildcard() == "*"
+
+    def test_from_wildcard_paper_example(self):
+        group = KeyGroup.from_wildcard("0110*", width=7)
+        assert group.depth == 4
+        assert group.prefix == 0b0110
+        assert group.virtual_key.bits() == "0110000"
+
+    def test_from_wildcard_full_depth(self):
+        group = KeyGroup.from_wildcard("0110101", width=7)
+        assert group.depth == 7
+        assert group.size == 1
+
+    def test_from_wildcard_rejects_bad_patterns(self):
+        with pytest.raises(ValueError):
+            KeyGroup.from_wildcard("01x*", width=7)
+        with pytest.raises(ValueError):
+            KeyGroup.from_wildcard("01101011*", width=7)
+
+    def test_from_key_is_shape_function(self):
+        key = IdentifierKey.from_bits("0110101")
+        group = KeyGroup.from_key(key, depth=4)
+        assert group == KeyGroup.from_wildcard("0110*", width=7)
+
+    def test_invalid_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            KeyGroup(prefix=0b10000, depth=4, width=7)
+
+    def test_invalid_depth_rejected(self):
+        with pytest.raises(ValueError):
+            KeyGroup(prefix=0, depth=8, width=7)
+        with pytest.raises(ValueError):
+            KeyGroup(prefix=0, depth=-1, width=7)
+
+
+class TestIdentityAndRepresentation:
+    def test_virtual_key_pads_with_zeros(self):
+        # Paper: key group "0110*" has virtual key "0110000" (decimal 48).
+        group = KeyGroup.from_wildcard("0110*", width=7)
+        assert group.virtual_key.value == 48
+
+    def test_size_formula(self):
+        # A depth-d group over N-bit keys contains 2^(N-d) keys.
+        group = KeyGroup.from_wildcard("11*", width=7)
+        assert group.size == 2 ** 5
+
+    def test_wildcard_round_trip(self):
+        for pattern in ["*", "0*", "0110*", "0110101"]:
+            group = KeyGroup.from_wildcard(pattern, width=7)
+            assert KeyGroup.from_wildcard(group.wildcard(), width=7) == group
+
+    def test_str_contains_depth(self):
+        assert "depth=4" in str(KeyGroup.from_wildcard("0110*", width=7))
+
+    def test_ordering_is_by_virtual_key(self):
+        a = KeyGroup.from_wildcard("0*", width=4)
+        b = KeyGroup.from_wildcard("1*", width=4)
+        assert a < b
+        assert sorted([b, a]) == [a, b]
+
+
+class TestMembership:
+    def test_contains_key_paper_example(self):
+        # "0110*" includes the 7-bit identifiers "0110101" and "0110111".
+        group = KeyGroup.from_wildcard("0110*", width=7)
+        assert group.contains_key(IdentifierKey.from_bits("0110101"))
+        assert group.contains_key(IdentifierKey.from_bits("0110111"))
+        assert not group.contains_key(IdentifierKey.from_bits("0111111"))
+
+    def test_contains_key_rejects_width_mismatch(self):
+        group = KeyGroup.from_wildcard("0110*", width=7)
+        with pytest.raises(ValueError):
+            group.contains_key(IdentifierKey.from_bits("01101010"))
+
+    def test_contains_group_nesting(self):
+        # "111*" is contained in "11*" (paper Section 3).
+        outer = KeyGroup.from_wildcard("11*", width=7)
+        inner = KeyGroup.from_wildcard("111*", width=7)
+        assert outer.contains_group(inner)
+        assert not inner.contains_group(outer)
+        assert outer.is_ancestor_of(inner)
+        assert not outer.is_ancestor_of(outer)
+
+    def test_overlaps(self):
+        a = KeyGroup.from_wildcard("01*", width=7)
+        b = KeyGroup.from_wildcard("011*", width=7)
+        c = KeyGroup.from_wildcard("10*", width=7)
+        assert a.overlaps(b)
+        assert b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_overlaps_rejects_width_mismatch(self):
+        with pytest.raises(ValueError):
+            KeyGroup.root(4).overlaps(KeyGroup.root(5))
+
+
+class TestSplittingAlgebra:
+    def test_split_paper_example(self):
+        # Expanding "0110*" (depth 4) creates "01100*" and "01101*" (depth 5);
+        # the left child keeps the parent's virtual key.
+        parent = KeyGroup.from_wildcard("0110*", width=7)
+        left, right = parent.split()
+        assert left == KeyGroup.from_wildcard("01100*", width=7)
+        assert right == KeyGroup.from_wildcard("01101*", width=7)
+        assert left.virtual_key == parent.virtual_key
+        assert right.virtual_key != parent.virtual_key
+        assert right.virtual_key.value == 0b0110100
+
+    def test_split_halves_the_group(self):
+        parent = KeyGroup.from_wildcard("0110*", width=7)
+        left, right = parent.split()
+        assert left.size == right.size == parent.size // 2
+
+    def test_split_at_full_depth_rejected(self):
+        with pytest.raises(ValueError):
+            KeyGroup.from_wildcard("0110101", width=7).split()
+
+    def test_parent_inverts_split(self):
+        parent = KeyGroup.from_wildcard("0110*", width=7)
+        left, right = parent.split()
+        assert left.parent() == parent
+        assert right.parent() == parent
+
+    def test_parent_of_root_rejected(self):
+        with pytest.raises(ValueError):
+            KeyGroup.root(7).parent()
+
+    def test_sibling(self):
+        left = KeyGroup.from_wildcard("01100*", width=7)
+        right = KeyGroup.from_wildcard("01101*", width=7)
+        assert left.sibling() == right
+        assert right.sibling() == left
+
+    def test_sibling_of_root_rejected(self):
+        with pytest.raises(ValueError):
+            KeyGroup.root(7).sibling()
+
+    def test_left_right_child_predicates(self):
+        left = KeyGroup.from_wildcard("01100*", width=7)
+        right = KeyGroup.from_wildcard("01101*", width=7)
+        assert left.is_left_child() and not left.is_right_child()
+        assert right.is_right_child() and not right.is_left_child()
+        with pytest.raises(ValueError):
+            KeyGroup.root(7).is_left_child()
+
+    def test_child_selector(self):
+        parent = KeyGroup.from_wildcard("0110*", width=7)
+        assert parent.child(0) == parent.split()[0]
+        assert parent.child(1) == parent.split()[1]
+        with pytest.raises(ValueError):
+            parent.child(2)
+
+    def test_descend_towards(self):
+        parent = KeyGroup.from_wildcard("011*", width=7)
+        key = IdentifierKey.from_bits("0110101")
+        descendant = parent.descend_towards(key, 6)
+        assert descendant.depth == 6
+        assert descendant.contains_key(key)
+        assert parent.contains_group(descendant)
+
+    def test_descend_towards_validation(self):
+        parent = KeyGroup.from_wildcard("011*", width=7)
+        outside = IdentifierKey.from_bits("1110101")
+        with pytest.raises(ValueError):
+            parent.descend_towards(outside, 5)
+        inside = IdentifierKey.from_bits("0110101")
+        with pytest.raises(ValueError):
+            parent.descend_towards(inside, 2)
+
+    def test_figure1_tree_construction(self):
+        """Recreate the Figure 1 splitting sequence starting from '011*'."""
+        root = KeyGroup.from_wildcard("011*", width=7)
+        g0110, g0111 = root.split()
+        assert g0110.wildcard() == "0110*"
+        assert g0111.wildcard() == "0111*"
+        g01110, g01111 = g0111.split()
+        assert g01110.wildcard() == "01110*"
+        assert g01111.wildcard() == "01111*"
+        g011100, g011101 = g01110.split()
+        assert g011100.wildcard() == "011100*"
+        assert g011101.wildcard() == "011101*"
+        # The four leaves of Figure 1 are mutually prefix-free and cover "011*".
+        leaves = [g0110, g011100, g011101, g01111]
+        for index, leaf in enumerate(leaves):
+            for other in leaves[index + 1 :]:
+                assert not leaf.overlaps(other)
+        assert sum(leaf.size for leaf in leaves) == root.size

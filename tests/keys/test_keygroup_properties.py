@@ -1,0 +1,95 @@
+"""Property-based tests for the key-group algebra (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.keys.identifier import IdentifierKey
+from repro.keys.keygroup import KeyGroup
+
+WIDTH = 16
+
+
+@st.composite
+def key_groups(draw, width: int = WIDTH):
+    depth = draw(st.integers(min_value=0, max_value=width))
+    prefix = draw(st.integers(min_value=0, max_value=(1 << depth) - 1)) if depth else 0
+    return KeyGroup(prefix=prefix, depth=depth, width=width)
+
+
+@st.composite
+def identifier_keys(draw, width: int = WIDTH):
+    value = draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    return IdentifierKey(value=value, width=width)
+
+
+class TestSplitProperties:
+    @given(group=key_groups())
+    @settings(max_examples=200)
+    def test_split_children_partition_parent(self, group: KeyGroup):
+        if group.depth == group.width:
+            return
+        left, right = group.split()
+        assert left.size + right.size == group.size
+        assert not left.overlaps(right)
+        assert group.contains_group(left)
+        assert group.contains_group(right)
+
+    @given(group=key_groups())
+    @settings(max_examples=200)
+    def test_left_child_preserves_virtual_key(self, group: KeyGroup):
+        if group.depth == group.width:
+            return
+        left, right = group.split()
+        assert left.virtual_key == group.virtual_key
+        assert right.virtual_key != group.virtual_key
+
+    @given(group=key_groups())
+    @settings(max_examples=200)
+    def test_parent_of_children_is_group(self, group: KeyGroup):
+        if group.depth == group.width:
+            return
+        left, right = group.split()
+        assert left.parent() == group
+        assert right.parent() == group
+        assert left.sibling() == right
+
+    @given(group=key_groups(), key=identifier_keys())
+    @settings(max_examples=200)
+    def test_membership_splits_exactly_one_way(self, group: KeyGroup, key: IdentifierKey):
+        if group.depth == group.width or not group.contains_key(key):
+            return
+        left, right = group.split()
+        assert left.contains_key(key) != right.contains_key(key)
+
+
+class TestMembershipProperties:
+    @given(key=identifier_keys(), depth=st.integers(min_value=0, max_value=WIDTH))
+    @settings(max_examples=200)
+    def test_shape_group_contains_its_key(self, key: IdentifierKey, depth: int):
+        group = KeyGroup.from_key(key, depth)
+        assert group.contains_key(key)
+
+    @given(key=identifier_keys())
+    @settings(max_examples=100)
+    def test_groups_along_a_key_form_a_chain(self, key: IdentifierKey):
+        groups = [KeyGroup.from_key(key, depth) for depth in range(WIDTH + 1)]
+        for shallower, deeper in zip(groups, groups[1:]):
+            assert shallower.contains_group(deeper)
+
+    @given(a=key_groups(), b=key_groups())
+    @settings(max_examples=300)
+    def test_overlap_is_symmetric_and_equals_containment(self, a: KeyGroup, b: KeyGroup):
+        assert a.overlaps(b) == b.overlaps(a)
+        assert a.overlaps(b) == (a.contains_group(b) or b.contains_group(a))
+
+    @given(group=key_groups())
+    @settings(max_examples=200)
+    def test_wildcard_round_trip(self, group: KeyGroup):
+        assert KeyGroup.from_wildcard(group.wildcard(), width=group.width) == group
+
+    @given(group=key_groups())
+    @settings(max_examples=200)
+    def test_virtual_key_is_member_of_group(self, group: KeyGroup):
+        assert group.contains_key(group.virtual_key)

@@ -1,0 +1,106 @@
+"""Unit tests for repro.keys.quadtree."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.keys.keygroup import KeyGroup
+from repro.keys.quadtree import GridCell, QuadTreeEncoder
+
+
+class TestGridCell:
+    def test_contains(self):
+        cell = GridCell(x_min=0.0, x_max=0.5, y_min=0.5, y_max=1.0)
+        assert cell.contains(0.25, 0.75)
+        assert not cell.contains(0.75, 0.75)
+        assert not cell.contains(0.25, 0.25)
+
+    def test_dimensions_and_centre(self):
+        cell = GridCell(x_min=0.0, x_max=0.5, y_min=0.0, y_max=0.25)
+        assert cell.width == pytest.approx(0.5)
+        assert cell.height == pytest.approx(0.25)
+        assert cell.centre == (pytest.approx(0.25), pytest.approx(0.125))
+
+    def test_invalid_extent_rejected(self):
+        with pytest.raises(ValueError):
+            GridCell(x_min=0.5, x_max=0.5, y_min=0.0, y_max=1.0)
+        with pytest.raises(ValueError):
+            GridCell(x_min=0.0, x_max=1.0, y_min=0.9, y_max=0.8)
+
+
+class TestQuadTreeEncoder:
+    def test_key_width_is_two_bits_per_level(self):
+        assert QuadTreeEncoder(levels=12).key_width == 24
+
+    def test_levels_must_be_positive(self):
+        with pytest.raises(ValueError):
+            QuadTreeEncoder(levels=0)
+
+    def test_quadrant_labels_at_first_level(self):
+        encoder = QuadTreeEncoder(levels=1)
+        assert encoder.encode(0.1, 0.1).bits() == "00"  # south-west
+        assert encoder.encode(0.9, 0.1).bits() == "01"  # south-east
+        assert encoder.encode(0.1, 0.9).bits() == "10"  # north-west
+        assert encoder.encode(0.9, 0.9).bits() == "11"  # north-east
+
+    def test_encode_rejects_points_outside_unit_square(self):
+        encoder = QuadTreeEncoder(levels=3)
+        with pytest.raises(ValueError):
+            encoder.encode(1.0, 0.5)
+        with pytest.raises(ValueError):
+            encoder.encode(0.5, -0.1)
+
+    def test_decode_cell_contains_original_point(self):
+        encoder = QuadTreeEncoder(levels=6)
+        points = [(0.12, 0.34), (0.9, 0.01), (0.5, 0.5), (0.999, 0.999)]
+        for x, y in points:
+            key = encoder.encode(x, y)
+            cell = encoder.decode_cell(key)
+            assert cell.contains(x, y)
+
+    def test_deeper_prefixes_nest_spatially(self):
+        encoder = QuadTreeEncoder(levels=6)
+        key = encoder.encode(0.3, 0.7)
+        outer = encoder.decode_cell(key, depth=2)
+        inner = encoder.decode_cell(key, depth=8)
+        assert outer.x_min <= inner.x_min and inner.x_max <= outer.x_max
+        assert outer.y_min <= inner.y_min and inner.y_max <= outer.y_max
+        assert inner.width < outer.width
+
+    def test_decode_requires_even_depth(self):
+        encoder = QuadTreeEncoder(levels=4)
+        key = encoder.encode(0.2, 0.2)
+        with pytest.raises(ValueError):
+            encoder.decode_cell(key, depth=3)
+
+    def test_decode_rejects_wrong_width_key(self):
+        encoder = QuadTreeEncoder(levels=4)
+        other = QuadTreeEncoder(levels=3).encode(0.2, 0.2)
+        with pytest.raises(ValueError):
+            encoder.decode_cell(other)
+
+    def test_cell_size_shrinks_exponentially(self):
+        encoder = QuadTreeEncoder(levels=8)
+        key = encoder.encode(0.3141, 0.2718)
+        full_cell = encoder.decode_cell(key)
+        assert full_cell.width == pytest.approx(1.0 / 256)
+        assert full_cell.height == pytest.approx(1.0 / 256)
+
+    def test_group_cell_matches_decode(self):
+        encoder = QuadTreeEncoder(levels=5)
+        key = encoder.encode(0.61, 0.37)
+        group = KeyGroup.from_key(key, depth=4)
+        assert encoder.group_cell(group) == encoder.decode_cell(key, depth=4)
+
+    def test_cell_group_contains_point_key(self):
+        encoder = QuadTreeEncoder(levels=5)
+        group = encoder.cell_group(0.61, 0.37, depth=6)
+        assert group.contains_key(encoder.encode(0.61, 0.37))
+
+    def test_nearby_points_share_prefixes(self):
+        """Spatial locality translates into common key prefixes (Section 3)."""
+        encoder = QuadTreeEncoder(levels=10)
+        a = encoder.encode(0.40001, 0.40001)
+        b = encoder.encode(0.40002, 0.40002)
+        far = encoder.encode(0.9, 0.1)
+        assert a.common_prefix_length(b) > a.common_prefix_length(far)

@@ -1,0 +1,61 @@
+"""Property-based tests for the quad-tree key encoder (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.keys.keygroup import KeyGroup
+from repro.keys.quadtree import QuadTreeEncoder
+
+LEVELS = 8
+ENCODER = QuadTreeEncoder(levels=LEVELS)
+
+coordinates = st.floats(min_value=0.0, max_value=0.999999, allow_nan=False, allow_infinity=False)
+
+
+class TestQuadTreeProperties:
+    @given(x=coordinates, y=coordinates)
+    @settings(max_examples=200)
+    def test_decode_cell_contains_encoded_point(self, x: float, y: float):
+        key = ENCODER.encode(x, y)
+        assert ENCODER.decode_cell(key).contains(x, y)
+
+    @given(x=coordinates, y=coordinates, levels=st.integers(min_value=1, max_value=LEVELS))
+    @settings(max_examples=200)
+    def test_prefix_cells_nest(self, x: float, y: float, levels: int):
+        key = ENCODER.encode(x, y)
+        outer = ENCODER.decode_cell(key, depth=2 * (levels - 1)) if levels > 1 else None
+        inner = ENCODER.decode_cell(key, depth=2 * levels)
+        if outer is not None:
+            assert outer.x_min <= inner.x_min and inner.x_max <= outer.x_max
+            assert outer.y_min <= inner.y_min and inner.y_max <= outer.y_max
+
+    @given(x=coordinates, y=coordinates)
+    @settings(max_examples=200)
+    def test_cell_dimensions_match_depth(self, x: float, y: float):
+        key = ENCODER.encode(x, y)
+        cell = ENCODER.decode_cell(key)
+        assert abs(cell.width - 1.0 / (1 << LEVELS)) < 1e-12
+        assert abs(cell.height - 1.0 / (1 << LEVELS)) < 1e-12
+
+    @given(x=coordinates, y=coordinates, depth=st.integers(min_value=0, max_value=LEVELS))
+    @settings(max_examples=200)
+    def test_group_cell_agrees_with_key_membership(self, x: float, y: float, depth: int):
+        """A point is inside a group's cell iff its key is inside the group."""
+        key = ENCODER.encode(x, y)
+        group = KeyGroup.from_key(key, 2 * depth)
+        cell = ENCODER.group_cell(group)
+        assert cell.contains(x, y)
+
+    @given(x1=coordinates, y1=coordinates, x2=coordinates, y2=coordinates)
+    @settings(max_examples=200)
+    def test_shared_prefix_implies_shared_cell(self, x1, y1, x2, y2):
+        key1 = ENCODER.encode(x1, y1)
+        key2 = ENCODER.encode(x2, y2)
+        common = key1.common_prefix_length(key2)
+        common_even = common - (common % 2)
+        if common_even == 0:
+            return
+        cell = ENCODER.decode_cell(key1, depth=common_even)
+        assert cell.contains(x2, y2)

@@ -1,0 +1,99 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = SimulationEngine()
+        fired: list[str] = []
+        engine.schedule_at(5.0, lambda now: fired.append("b"))
+        engine.schedule_at(1.0, lambda now: fired.append("a"))
+        engine.schedule_at(9.0, lambda now: fired.append("c"))
+        engine.run_until(10.0)
+        assert fired == ["a", "b", "c"]
+        assert engine.now == 10.0
+        assert engine.processed == 3
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        engine = SimulationEngine()
+        fired: list[int] = []
+        for index in range(5):
+            engine.schedule_at(3.0, lambda now, index=index: fired.append(index))
+        engine.run_until(3.0)
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_schedule_in_is_relative(self):
+        engine = SimulationEngine()
+        times: list[float] = []
+        engine.schedule_at(2.0, lambda now: engine.schedule_in(3.0, lambda later: times.append(later)))
+        engine.run_until(10.0)
+        assert times == [5.0]
+
+    def test_events_beyond_horizon_stay_queued(self):
+        engine = SimulationEngine()
+        fired: list[float] = []
+        engine.schedule_at(1.0, fired.append)
+        engine.schedule_at(20.0, fired.append)
+        engine.run_until(10.0)
+        assert fired == [1.0]
+        assert engine.pending == 1
+        engine.run_until(30.0)
+        assert fired == [1.0, 20.0]
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = SimulationEngine()
+        engine.schedule_at(5.0, lambda now: None)
+        engine.run_until(5.0)
+        with pytest.raises(ValueError):
+            engine.schedule_at(4.0, lambda now: None)
+
+    def test_cannot_run_backwards(self):
+        engine = SimulationEngine()
+        engine.run_until(5.0)
+        with pytest.raises(ValueError):
+            engine.run_until(4.0)
+
+    def test_negative_delay_rejected(self):
+        engine = SimulationEngine()
+        with pytest.raises(ValueError):
+            engine.schedule_in(-1.0, lambda now: None)
+
+
+class TestPeriodicEvents:
+    def test_schedule_every_repeats(self):
+        engine = SimulationEngine()
+        ticks: list[float] = []
+        engine.schedule_every(10.0, ticks.append)
+        engine.run_until(35.0)
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_schedule_every_with_explicit_start(self):
+        engine = SimulationEngine()
+        ticks: list[float] = []
+        engine.schedule_every(10.0, ticks.append, first_at=5.0)
+        engine.run_until(26.0)
+        assert ticks == [5.0, 15.0, 25.0]
+
+    def test_schedule_every_requires_positive_period(self):
+        with pytest.raises(ValueError):
+            SimulationEngine().schedule_every(0.0, lambda now: None)
+
+    def test_max_events_limits_processing(self):
+        engine = SimulationEngine()
+        ticks: list[float] = []
+        engine.schedule_every(1.0, ticks.append)
+        fired = engine.run_until(1000.0, max_events=5)
+        assert fired == 5
+
+    def test_run_all_processes_everything(self):
+        engine = SimulationEngine()
+        fired: list[float] = []
+        for time in [3.0, 1.0, 2.0]:
+            engine.schedule_at(time, fired.append)
+        assert engine.run_all() == 3
+        assert fired == [1.0, 2.0, 3.0]

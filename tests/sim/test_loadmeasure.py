@@ -1,0 +1,58 @@
+"""Unit tests for the analytic load measure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.keys.keygroup import KeyGroup
+from repro.sim.loadmeasure import LoadMeasure
+from repro.workload.distributions import WorkloadSpec, workload_c
+
+
+SPEC = WorkloadSpec(name="X", base_bits=2, weights=(1.0, 2.0, 3.0, 4.0), source_rate=1.0)
+
+
+class TestLoadMeasure:
+    def test_group_rate_proportional_to_prefix_probability(self):
+        measure = LoadMeasure(spec=SPEC, total_rate=1000.0)
+        group = KeyGroup.from_wildcard("1*", width=8)
+        assert measure.group_rate(group) == pytest.approx(700.0)
+
+    def test_group_queries_proportional(self):
+        measure = LoadMeasure(spec=SPEC, total_rate=0.0, total_queries=100.0)
+        group = KeyGroup.from_wildcard("0*", width=8)
+        assert measure.group_queries(group) == pytest.approx(30.0)
+
+    def test_rates_partition_total(self):
+        measure = LoadMeasure(spec=workload_c(base_bits=4), total_rate=500.0)
+        for depth in [2, 4, 6]:
+            groups = [KeyGroup(prefix=p, depth=depth, width=12) for p in range(1 << depth)]
+            assert sum(measure.group_rate(group) for group in groups) == pytest.approx(500.0)
+
+    def test_splitting_a_group_conserves_rate(self):
+        measure = LoadMeasure(spec=workload_c(base_bits=4), total_rate=500.0)
+        parent = KeyGroup.from_wildcard("10*", width=12)
+        left, right = parent.split()
+        assert measure.group_rate(left) + measure.group_rate(right) == pytest.approx(
+            measure.group_rate(parent)
+        )
+
+    def test_rate_by_prefix(self):
+        measure = LoadMeasure(spec=SPEC, total_rate=100.0)
+        rates = measure.rate_by_prefix(2)
+        assert rates == pytest.approx([10.0, 20.0, 30.0, 40.0])
+        with pytest.raises(ValueError):
+            measure.rate_by_prefix(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LoadMeasure(spec=SPEC, total_rate=-1.0)
+        with pytest.raises(ValueError):
+            LoadMeasure(spec=SPEC, total_rate=1.0, total_queries=-1.0)
+
+    def test_accessors(self):
+        measure = LoadMeasure(spec=SPEC, total_rate=10.0, total_queries=5.0)
+        assert measure.spec is SPEC
+        assert measure.total_rate == 10.0
+        assert measure.total_queries == 5.0
+        assert measure.group_probability(KeyGroup.root(8)) == pytest.approx(1.0)

@@ -1,0 +1,100 @@
+"""Unit tests for the metrics recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.metrics import MetricsRecorder, PeriodSample
+
+
+def sample(time: float, workload: str = "A", **overrides) -> PeriodSample:
+    values = dict(
+        time=time,
+        workload=workload,
+        max_load_percent=80.0,
+        avg_load_percent=50.0,
+        active_servers=10,
+        min_depth=6.0,
+        avg_depth=6.5,
+        max_depth=8.0,
+        splits=1,
+        merges=0,
+        messages_per_server_per_second=2.0,
+    )
+    values.update(overrides)
+    return PeriodSample(**values)
+
+
+class TestRecorder:
+    def test_record_and_series(self):
+        recorder = MetricsRecorder()
+        recorder.record(sample(300.0, max_load_percent=70.0))
+        recorder.record(sample(600.0, max_load_percent=90.0))
+        series = recorder.series("max_load_percent")
+        assert series.times == [300.0, 600.0]
+        assert series.values == [70.0, 90.0]
+        assert len(recorder) == 2
+
+    def test_rejects_time_reversal(self):
+        recorder = MetricsRecorder()
+        recorder.record(sample(300.0))
+        with pytest.raises(ValueError):
+            recorder.record(sample(200.0))
+
+    def test_depth_series_has_three_curves(self):
+        recorder = MetricsRecorder()
+        recorder.record(sample(300.0))
+        curves = recorder.depth_series()
+        assert set(curves) == {"min", "avg", "max"}
+        assert curves["max"].values == [8.0]
+
+    def test_overall_peak_load(self):
+        recorder = MetricsRecorder()
+        recorder.record(sample(300.0, max_load_percent=80.0))
+        recorder.record(sample(600.0, max_load_percent=140.0))
+        recorder.record(sample(900.0, max_load_percent=60.0))
+        assert recorder.overall_peak_load() == 140.0
+
+    def test_overall_peak_load_empty(self):
+        with pytest.raises(ValueError):
+            MetricsRecorder().overall_peak_load()
+
+
+class TestPhaseSummaries:
+    def build(self) -> MetricsRecorder:
+        recorder = MetricsRecorder()
+        recorder.record(sample(300.0, workload="A", max_load_percent=50.0, splits=2))
+        recorder.record(sample(600.0, workload="A", max_load_percent=70.0, splits=1))
+        recorder.record(sample(900.0, workload="B", max_load_percent=120.0, merges=3,
+                               messages_per_server_per_second=8.0))
+        return recorder
+
+    def test_phase_grouping(self):
+        summaries = self.build().phase_summaries()
+        assert [summary.workload for summary in summaries] == ["A", "B"]
+        a_summary = summaries[0]
+        assert a_summary.periods == 2
+        assert a_summary.peak_max_load_percent == 70.0
+        assert a_summary.mean_max_load_percent == pytest.approx(60.0)
+        assert a_summary.total_splits == 3
+        b_summary = summaries[1]
+        assert b_summary.total_merges == 3
+        assert b_summary.messages_per_server_per_second == pytest.approx(8.0)
+
+    def test_steady_state_skips_leading_periods(self):
+        recorder = self.build()
+        steady = recorder.steady_state_samples(skip=1)
+        # Phase A loses its first period, phase B (only one period) disappears.
+        assert len(steady) == 1
+        assert steady[0].workload == "A"
+        assert recorder.steady_state_samples(skip=0) == recorder.samples
+
+    def test_steady_state_negative_skip(self):
+        with pytest.raises(ValueError):
+            self.build().steady_state_samples(skip=-1)
+
+    def test_depth_spread(self):
+        recorder = MetricsRecorder()
+        recorder.record(sample(300.0, min_depth=6.0, max_depth=10.0))
+        summary = recorder.phase_summaries()[0]
+        assert summary.depth_spread == pytest.approx(4.0)

@@ -1,0 +1,172 @@
+"""Unit tests for repro.util.bitops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.bitops import (
+    bit_length_mask,
+    bits_to_int,
+    common_prefix_length,
+    extract_prefix,
+    int_to_bits,
+    is_prefix_of,
+    pad_prefix_to_width,
+    reverse_bits,
+    set_bit,
+)
+from repro.util.bitops import test_bit as bit_at  # aliased: pytest must not collect it
+
+
+class TestBitLengthMask:
+    def test_zero_width(self):
+        assert bit_length_mask(0) == 0
+
+    def test_small_widths(self):
+        assert bit_length_mask(1) == 1
+        assert bit_length_mask(4) == 0b1111
+        assert bit_length_mask(24) == (1 << 24) - 1
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            bit_length_mask(-1)
+
+    def test_non_int_width_rejected(self):
+        with pytest.raises(TypeError):
+            bit_length_mask(3.5)
+
+
+class TestIntToBits:
+    def test_paper_example(self):
+        assert int_to_bits(0b0110, 4) == "0110"
+
+    def test_leading_zeros_preserved(self):
+        assert int_to_bits(1, 7) == "0000001"
+
+    def test_zero_width(self):
+        assert int_to_bits(0, 0) == ""
+
+    def test_value_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            int_to_bits(True, 4)
+
+
+class TestBitsToInt:
+    def test_round_trip(self):
+        for value in [0, 1, 6, 53, 127]:
+            assert bits_to_int(int_to_bits(value, 7)) == value
+
+    def test_empty_string(self):
+        assert bits_to_int("") == 0
+
+    def test_invalid_characters_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_int("0120")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            bits_to_int(0b0101)
+
+
+class TestExtractPrefix:
+    def test_paper_example(self):
+        # "0110101" with depth 4 has prefix "0110" = 6.
+        assert extract_prefix(0b0110101, 7, 4) == 0b0110
+
+    def test_full_depth_is_identity(self):
+        assert extract_prefix(0b0110101, 7, 7) == 0b0110101
+
+    def test_zero_depth(self):
+        assert extract_prefix(0b0110101, 7, 0) == 0
+
+    def test_depth_out_of_range(self):
+        with pytest.raises(ValueError):
+            extract_prefix(0b0110101, 7, 8)
+
+
+class TestPadPrefixToWidth:
+    def test_paper_example(self):
+        # Key group "0110*" over 7-bit keys has virtual key "0110000" = 48.
+        assert pad_prefix_to_width(0b0110, 4, 7) == 0b0110000
+        assert pad_prefix_to_width(0b0110, 4, 7) == 48
+
+    def test_right_child_virtual_key(self):
+        # "01101*" expands to "0110100" = 52 (the paper says decimal 54 for the
+        # string "0110110"; the worked number here checks our own arithmetic).
+        assert pad_prefix_to_width(0b01101, 5, 7) == 0b0110100
+
+    def test_extract_is_inverse(self):
+        padded = pad_prefix_to_width(0b101, 3, 10)
+        assert extract_prefix(padded, 10, 3) == 0b101
+
+    def test_prefix_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            pad_prefix_to_width(0b1000, 3, 7)
+
+
+class TestIsPrefixOf:
+    def test_positive_case(self):
+        assert is_prefix_of(0b0110, 4, 0b0110101, 7)
+
+    def test_negative_case(self):
+        assert not is_prefix_of(0b0111, 4, 0b0110101, 7)
+
+    def test_zero_depth_matches_everything(self):
+        assert is_prefix_of(0, 0, 0b1111111, 7)
+
+
+class TestCommonPrefixLength:
+    def test_identical_values(self):
+        assert common_prefix_length(0b0110101, 0b0110101, 7) == 7
+
+    def test_paper_server_table_example(self):
+        # "0101010" vs "0101100": common prefix is "0101" -> length 4.
+        assert common_prefix_length(0b0101010, 0b0101100, 7) == 4
+
+    def test_differ_in_first_bit(self):
+        assert common_prefix_length(0b1000000, 0b0000000, 7) == 0
+
+    def test_symmetry(self):
+        assert common_prefix_length(0b0011, 0b0010, 4) == common_prefix_length(
+            0b0010, 0b0011, 4
+        )
+
+
+class TestBitAccess:
+    def test_test_bit_msb_first(self):
+        assert bit_at(0b1000000, 7, 0) is True
+        assert bit_at(0b1000000, 7, 6) is False
+
+    def test_set_bit_round_trip(self):
+        value = 0b0000000
+        value = set_bit(value, 7, 2, True)
+        assert value == 0b0010000
+        assert bit_at(value, 7, 2) is True
+        value = set_bit(value, 7, 2, False)
+        assert value == 0
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            bit_at(0, 4, 4)
+        with pytest.raises(ValueError):
+            set_bit(0, 4, -1, True)
+
+
+class TestReverseBits:
+    def test_palindrome(self):
+        assert reverse_bits(0b1001, 4) == 0b1001
+
+    def test_simple(self):
+        assert reverse_bits(0b1000, 4) == 0b0001
+
+    def test_involution(self):
+        for value in range(16):
+            assert reverse_bits(reverse_bits(value, 4), 4) == value

@@ -1,0 +1,59 @@
+"""Unit tests for repro.util.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_accepts_matching_type(self):
+        check_type("x", 3, int)
+        check_type("x", "hello", str)
+        check_type("x", 3.5, (int, float))
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("x", "3", int)
+
+    def test_rejects_bool_for_int(self):
+        with pytest.raises(TypeError, match="x must be an int"):
+            check_type("x", True, int)
+
+    def test_tuple_of_types_in_message(self):
+        with pytest.raises(TypeError):
+            check_type("x", None, (int, str))
+
+
+class TestNumericChecks:
+    def test_check_positive(self):
+        check_positive("x", 0.1)
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", 0)
+
+    def test_check_non_negative(self):
+        check_non_negative("x", 0)
+        with pytest.raises(ValueError, match="x must be non-negative"):
+            check_non_negative("x", -0.1)
+
+    def test_check_in_range(self):
+        check_in_range("x", 5, 0, 10)
+        check_in_range("x", 0, 0, 10)
+        check_in_range("x", 10, 0, 10)
+        with pytest.raises(ValueError, match="x must be in"):
+            check_in_range("x", 11, 0, 10)
+
+    def test_check_probability(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+        with pytest.raises(ValueError):
+            check_probability("p", -0.01)

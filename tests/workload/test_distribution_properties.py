@@ -1,0 +1,48 @@
+"""Property-based tests for workload distributions (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.distributions import WorkloadSpec
+
+BASE_BITS = 4
+
+
+@st.composite
+def workload_specs(draw):
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            min_size=1 << BASE_BITS,
+            max_size=1 << BASE_BITS,
+        ).filter(lambda values: sum(values) > 0)
+    )
+    rate = draw(st.floats(min_value=0.1, max_value=10.0, allow_nan=False))
+    return WorkloadSpec(name="prop", base_bits=BASE_BITS, weights=tuple(weights), source_rate=rate)
+
+
+class TestPrefixProbabilityProperties:
+    @given(spec=workload_specs(), depth=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=150)
+    def test_probabilities_sum_to_one_at_every_depth(self, spec: WorkloadSpec, depth: int):
+        total = sum(spec.prefix_probability(prefix, depth) for prefix in range(1 << depth))
+        assert abs(total - 1.0) < 1e-9
+
+    @given(spec=workload_specs(), depth=st.integers(min_value=0, max_value=9))
+    @settings(max_examples=150)
+    def test_children_split_the_parent_mass(self, spec: WorkloadSpec, depth: int):
+        for prefix in range(min(8, 1 << depth)):
+            parent = spec.prefix_probability(prefix, depth)
+            left = spec.prefix_probability(prefix << 1, depth + 1)
+            right = spec.prefix_probability((prefix << 1) | 1, depth + 1)
+            assert abs(parent - (left + right)) < 1e-9
+
+    @given(spec=workload_specs())
+    @settings(max_examples=100)
+    def test_expected_counts_scale_linearly(self, spec: WorkloadSpec):
+        small = spec.expected_counts(100)
+        large = spec.expected_counts(10_000)
+        for a, b in zip(small, large):
+            assert abs(b - 100 * a) < 1e-6

@@ -1,0 +1,103 @@
+"""Unit tests for the Figure 3 workload distributions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.distributions import (
+    WorkloadSpec,
+    skew_statistics,
+    uniform_weights,
+    workload_a,
+    workload_b,
+    workload_c,
+    zipf_weights,
+)
+
+
+class TestWorkloadSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="X", base_bits=4, weights=(1.0,) * 15, source_rate=1.0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="X", base_bits=4, weights=(-1.0,) + (1.0,) * 15, source_rate=1.0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="X", base_bits=4, weights=(0.0,) * 16, source_rate=1.0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(name="X", base_bits=4, weights=(1.0,) * 16, source_rate=0.0)
+
+    def test_probability_normalisation(self):
+        spec = WorkloadSpec(name="X", base_bits=4, weights=tuple(range(1, 17)), source_rate=1.0)
+        assert sum(spec.probability(value) for value in range(16)) == pytest.approx(1.0)
+
+    def test_prefix_probability_aggregates_below_base_depth(self):
+        spec = WorkloadSpec(name="X", base_bits=2, weights=(1.0, 2.0, 3.0, 4.0), source_rate=1.0)
+        assert spec.prefix_probability(0, 1) == pytest.approx(0.3)
+        assert spec.prefix_probability(1, 1) == pytest.approx(0.7)
+        assert spec.prefix_probability(0, 0) == pytest.approx(1.0)
+
+    def test_prefix_probability_splits_uniformly_beyond_base(self):
+        spec = WorkloadSpec(name="X", base_bits=2, weights=(1.0, 2.0, 3.0, 4.0), source_rate=1.0)
+        base_probability = spec.probability(2)
+        assert spec.prefix_probability(0b100, 3) == pytest.approx(base_probability / 2)
+        assert spec.prefix_probability(0b1001, 4) == pytest.approx(base_probability / 4)
+
+    def test_prefix_probability_total_is_one_at_any_depth(self):
+        spec = workload_c(base_bits=4)
+        for depth in [2, 4, 6]:
+            total = sum(spec.prefix_probability(prefix, depth) for prefix in range(1 << depth))
+            assert total == pytest.approx(1.0)
+
+    def test_prefix_probability_validation(self):
+        spec = workload_a(base_bits=4)
+        with pytest.raises(ValueError):
+            spec.prefix_probability(4, 2)
+        with pytest.raises(ValueError):
+            spec.prefix_probability(0, -1)
+
+    def test_expected_counts_scale_with_population(self):
+        spec = workload_a(base_bits=4)
+        counts = spec.expected_counts(1000)
+        assert sum(counts) == pytest.approx(1000.0)
+        assert len(counts) == 16
+
+
+class TestPaperWorkloads:
+    def test_rates_match_section_6_1(self):
+        assert workload_a().source_rate == 1.0
+        assert workload_b().source_rate == 2.0
+        assert workload_c().source_rate == 2.0
+
+    def test_skew_ordering_a_less_than_b_less_than_c(self):
+        stats = {name: skew_statistics(spec) for name, spec in
+                 [("A", workload_a()), ("B", workload_b()), ("C", workload_c())]}
+        assert stats["A"]["max_over_mean"] < stats["B"]["max_over_mean"] < stats["C"]["max_over_mean"]
+        assert stats["A"]["normalised_entropy"] > stats["B"]["normalised_entropy"] > stats["C"]["normalised_entropy"]
+
+    def test_workload_a_is_nearly_uniform(self):
+        stats = skew_statistics(workload_a())
+        assert stats["max_over_mean"] < 1.1
+        assert stats["normalised_entropy"] > 0.99
+
+    def test_workload_c_hot_window_carries_quarter_of_mass(self):
+        stats = skew_statistics(workload_c())
+        assert stats["hottest_window_share"] > 0.2
+
+    def test_default_base_bits_is_eight(self):
+        assert len(workload_a().weights) == 256
+
+
+class TestGenericWeights:
+    def test_uniform_weights(self):
+        weights = uniform_weights(4)
+        assert len(weights) == 16
+        assert len(set(weights)) == 1
+
+    def test_zipf_weights_decay(self):
+        weights = zipf_weights(4, exponent=1.0)
+        assert weights[0] > weights[1] > weights[15]
+        assert weights[1] == pytest.approx(weights[0] / 2)
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(4, exponent=0.0)

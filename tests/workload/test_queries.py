@@ -1,0 +1,80 @@
+"""Unit tests for repro.workload.queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.rng import RandomStream
+from repro.workload.distributions import workload_b, workload_c
+from repro.workload.queries import QueryPopulation
+
+
+def make_population(count: int = 50) -> QueryPopulation:
+    return QueryPopulation(
+        count=count,
+        spec=workload_b(base_bits=4),
+        key_bits=12,
+        mean_lifetime=1800.0,
+        rng=RandomStream(13),
+    )
+
+
+class TestQueryPopulation:
+    def test_expected_arrivals_steady_state(self):
+        population = make_population(count=60)
+        assert population.expected_arrivals(300.0) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            population.expected_arrivals(0.0)
+
+    def test_spawn_clients_have_future_expiry(self):
+        population = make_population()
+        clients = population.spawn_clients(10, now=100.0)
+        assert len(clients) == 10
+        assert all(client.expires_at > 100.0 for client in clients)
+        assert all(client.registered_at == 100.0 for client in clients)
+
+    def test_client_names_are_unique_across_batches(self):
+        population = make_population()
+        first = population.spawn_clients(5, now=0.0)
+        second = population.spawn_clients(5, now=10.0)
+        names = {client.name for client in first + second}
+        assert len(names) == 10
+
+    def test_initial_clients_matches_count(self):
+        population = make_population(count=25)
+        assert len(population.initial_clients()) == 25
+
+    def test_to_query_conversion(self):
+        population = make_population()
+        client = population.spawn_clients(1, now=0.0)[0]
+        query = client.to_query(query_id=7)
+        assert query.query_id == 7
+        assert query.key == client.key
+        assert query.expires_at == client.expires_at
+
+    def test_switch_workload(self):
+        population = make_population()
+        population.switch_workload(workload_c(base_bits=4))
+        assert population.spec.name == "C"
+        with pytest.raises(ValueError):
+            population.switch_workload(workload_c(base_bits=6))
+
+    def test_lifetimes_average_to_mean(self):
+        population = make_population(count=2000)
+        clients = population.initial_clients(now=0.0)
+        mean_lifetime = sum(client.expires_at for client in clients) / len(clients)
+        assert 1600 < mean_lifetime < 2000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryPopulation(
+                count=-1, spec=workload_b(base_bits=4), key_bits=12,
+                mean_lifetime=10.0, rng=RandomStream(1),
+            )
+        with pytest.raises(ValueError):
+            QueryPopulation(
+                count=1, spec=workload_b(base_bits=8), key_bits=4,
+                mean_lifetime=10.0, rng=RandomStream(1),
+            )
+        with pytest.raises(ValueError):
+            make_population().spawn_clients(-1, now=0.0)

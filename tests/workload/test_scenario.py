@@ -1,0 +1,69 @@
+"""Unit tests for repro.workload.scenario."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.distributions import workload_a, workload_b
+from repro.workload.scenario import PhasedScenario, ScenarioPhase, paper_scenario
+
+
+class TestPhasedScenario:
+    def test_paper_scenario_structure(self):
+        scenario = paper_scenario()
+        assert [phase.spec.name for phase in scenario.phases] == ["A", "B", "C"]
+        assert scenario.total_duration == pytest.approx(3 * 7200.0)
+
+    def test_workload_at_boundaries(self):
+        scenario = paper_scenario(phase_duration=100.0)
+        assert scenario.workload_at(0.0).name == "A"
+        assert scenario.workload_at(99.9).name == "A"
+        assert scenario.workload_at(100.0).name == "B"
+        assert scenario.workload_at(250.0).name == "C"
+        # Beyond the end the final workload persists.
+        assert scenario.workload_at(10_000.0).name == "C"
+
+    def test_phase_index_at(self):
+        scenario = paper_scenario(phase_duration=100.0)
+        assert scenario.phase_index_at(50.0) == 0
+        assert scenario.phase_index_at(150.0) == 1
+        assert scenario.phase_index_at(500.0) == 2
+
+    def test_phase_boundaries(self):
+        scenario = paper_scenario(phase_duration=100.0)
+        assert scenario.phase_boundaries() == [0.0, 100.0, 200.0]
+
+    def test_negative_time_rejected(self):
+        scenario = paper_scenario()
+        with pytest.raises(ValueError):
+            scenario.workload_at(-1.0)
+        with pytest.raises(ValueError):
+            scenario.phase_index_at(-1.0)
+
+    def test_custom_scenario(self):
+        scenario = PhasedScenario(
+            [
+                ScenarioPhase(spec=workload_b(), duration=10.0),
+                ScenarioPhase(spec=workload_a(), duration=20.0),
+            ]
+        )
+        assert scenario.workload_at(5.0).name == "B"
+        assert scenario.workload_at(15.0).name == "A"
+        assert scenario.total_duration == 30.0
+
+    def test_empty_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            PhasedScenario([])
+
+    def test_mixed_base_bits_rejected(self):
+        with pytest.raises(ValueError):
+            PhasedScenario(
+                [
+                    ScenarioPhase(spec=workload_a(base_bits=8), duration=10.0),
+                    ScenarioPhase(spec=workload_b(base_bits=6), duration=10.0),
+                ]
+            )
+
+    def test_zero_duration_phase_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioPhase(spec=workload_a(), duration=0.0)

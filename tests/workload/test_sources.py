@@ -1,0 +1,132 @@
+"""Unit tests for repro.workload.sources."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.keys.identifier import RandomKeyGenerator
+from repro.util.rng import RandomStream
+from repro.workload.distributions import workload_a, workload_b
+from repro.workload.sources import DataSource, SourcePopulation
+
+
+def make_source(rate: float = 2.0, mean_stream_length: float = 20.0) -> DataSource:
+    rng = RandomStream(5)
+    generator = RandomKeyGenerator(width=12, base_bits=4, rng=rng)
+    return DataSource(
+        name="src0",
+        key_generator=generator,
+        rate=rate,
+        mean_stream_length=mean_stream_length,
+        rng=rng,
+    )
+
+
+class TestDataSource:
+    def test_first_packet_starts_a_stream(self):
+        source = make_source()
+        assert source.current_key is None
+        packet, key_changed = source.next_packet(now=0.0)
+        assert key_changed
+        assert source.current_key == packet.key
+        assert source.streams_started == 1
+
+    def test_key_stays_constant_within_a_stream(self):
+        source = make_source(mean_stream_length=1000.0)
+        first, _ = source.next_packet()
+        for _ in range(20):
+            packet, key_changed = source.next_packet()
+            assert not key_changed
+            assert packet.key == first.key
+
+    def test_key_changes_when_stream_exhausts(self):
+        source = make_source(mean_stream_length=2.0)
+        keys = set()
+        changes = 0
+        for _ in range(200):
+            packet, key_changed = source.next_packet()
+            keys.add(packet.key)
+            changes += key_changed
+        assert changes > 10
+        assert len(keys) > 5
+
+    def test_expected_key_change_rate(self):
+        source = make_source(rate=2.0, mean_stream_length=50.0)
+        assert source.expected_key_change_rate() == pytest.approx(0.04)
+
+    def test_set_rate(self):
+        source = make_source(rate=1.0)
+        source.set_rate(2.0)
+        assert source.rate == 2.0
+        with pytest.raises(ValueError):
+            source.set_rate(0.0)
+
+    def test_validation(self):
+        rng = RandomStream(1)
+        generator = RandomKeyGenerator(width=12, base_bits=4, rng=rng)
+        with pytest.raises(ValueError):
+            DataSource("s", generator, rate=0.0, mean_stream_length=10.0, rng=rng)
+        with pytest.raises(ValueError):
+            DataSource("s", generator, rate=1.0, mean_stream_length=0.0, rng=rng)
+
+
+class TestSourcePopulation:
+    def make_population(self, count: int = 100) -> SourcePopulation:
+        return SourcePopulation(
+            count=count,
+            spec=workload_a(base_bits=4),
+            key_bits=12,
+            mean_stream_length=100.0,
+            rng=RandomStream(9),
+        )
+
+    def test_total_rate(self):
+        population = self.make_population(100)
+        assert population.total_rate() == pytest.approx(100.0)  # workload A: 1 pkt/s each
+
+    def test_switch_workload_changes_rate(self):
+        population = self.make_population(100)
+        population.switch_workload(workload_b(base_bits=4))
+        assert population.total_rate() == pytest.approx(200.0)
+        assert population.spec.name == "B"
+
+    def test_switch_workload_base_bits_must_match(self):
+        population = self.make_population()
+        with pytest.raises(ValueError):
+            population.switch_workload(workload_b(base_bits=6))
+
+    def test_expected_key_changes(self):
+        population = self.make_population(100)
+        assert population.expected_key_changes(300.0) == pytest.approx(100 * 1.0 * 300.0 / 100.0)
+        with pytest.raises(ValueError):
+            population.expected_key_changes(0.0)
+
+    def test_materialise_creates_sources(self):
+        population = self.make_population(5)
+        sources = population.materialise()
+        assert len(sources) == 5
+        assert {source.name for source in sources} == {f"src{i}" for i in range(5)}
+
+    def test_key_generator_uses_spec_weights(self):
+        population = self.make_population()
+        generator = population.make_key_generator()
+        key = generator.generate()
+        assert key.width == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SourcePopulation(
+                count=-1,
+                spec=workload_a(base_bits=4),
+                key_bits=12,
+                mean_stream_length=10.0,
+                rng=RandomStream(1),
+            )
+        with pytest.raises(ValueError):
+            SourcePopulation(
+                count=1,
+                spec=workload_a(base_bits=8),
+                key_bits=6,
+                mean_stream_length=10.0,
+                rng=RandomStream(1),
+            )
