@@ -1,0 +1,27 @@
+# Developer entry points. `make check` is the gate a PR must pass:
+# lint (when ruff is available) plus the tier-1 test suite.
+
+PYTEST := PYTHONPATH=src python -m pytest
+
+.PHONY: check lint test bench-smoke bench
+
+check: lint test
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping lint"; \
+	fi
+
+test:
+	$(PYTEST) -x -q
+
+# One tiny benchmark configuration — fast enough for every CI run, keeps the
+# benchmark modules import-clean and their hot paths executing.
+bench-smoke:
+	$(PYTEST) -q -m bench_smoke
+
+# The full benchmark suite (regenerates the paper's figures; minutes).
+bench:
+	$(PYTEST) -q benchmarks

@@ -18,6 +18,7 @@ Figure 4 time series) and prints the report to stdout.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import pathlib
 import sys
 from typing import Callable, Sequence
@@ -33,6 +34,7 @@ from repro.experiments.reporting import (
     series_to_csv,
 )
 from repro.experiments.runner import ExperimentScale
+from repro.net import TRANSPORT_KINDS
 
 __all__ = ["main", "build_parser"]
 
@@ -75,7 +77,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed",
         type=int,
         default=20040324,
-        help="master random seed",
+        help="master random seed (every figure run is reproducible from it)",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=list(TRANSPORT_KINDS),
+        default="inline",
+        help="transport protocol messages travel through: 'inline' is the "
+        "paper-faithful synchronous default, 'event' routes envelopes "
+        "through the discrete-event kernel with simulated latency, "
+        "'batching' coalesces same-destination traffic per load-check "
+        "period (default: inline)",
+    )
+    parser.add_argument(
+        "--link-latency",
+        type=float,
+        default=0.0,
+        help="one-way message latency in seconds for the event transport "
+        "(ignored by the other transports; default: 0)",
     )
     parser.add_argument(
         "--quiet",
@@ -92,18 +111,12 @@ def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
         scale = ExperimentScale.scaled(
             factor=args.scale_factor, phase_periods=args.phase_periods
         )
-    if args.seed != scale.seed:
-        scale = ExperimentScale(
-            name=scale.name,
-            server_count=scale.server_count,
-            source_count=scale.source_count,
-            query_client_count=scale.query_client_count,
-            server_capacity=scale.server_capacity,
-            phase_duration=scale.phase_duration,
-            load_check_period=scale.load_check_period,
-            seed=args.seed,
-        )
-    return scale
+    return dataclasses.replace(
+        scale,
+        seed=args.seed,
+        transport=args.transport,
+        link_latency=args.link_latency,
+    )
 
 
 def _write(output_dir: pathlib.Path, name: str, text: str, quiet: bool) -> pathlib.Path:

@@ -76,7 +76,7 @@ class ReplyStatus(enum.Enum):
     prefix match between the key and the server's table entries."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AcceptObject:
     """A request to store (or route) an object under an identifier key.
 
@@ -91,7 +91,7 @@ class AcceptObject:
     sender: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AcceptObjectReply:
     """A server's response to :class:`AcceptObject`.
 
@@ -121,7 +121,7 @@ class AcceptObjectReply:
                 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AcceptKeyGroup:
     """Transfer of responsibility for a key group to a child server.
 
@@ -140,7 +140,7 @@ class AcceptKeyGroup:
     migrated_queries: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReleaseKeyGroup:
     """A child returns a cold key group to its parent during consolidation.
 
@@ -155,7 +155,7 @@ class ReleaseKeyGroup:
     migrated_queries: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LoadReport:
     """Periodic leaf → parent workload report used by consolidation.
 

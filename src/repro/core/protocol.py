@@ -10,6 +10,12 @@ message counters, and it mediates every inter-node interaction:
 * orchestrating bottom-up consolidation (load reports, ``RELEASE_KEYGROUP``),
 * bookkeeping of which server currently owns each active key group.
 
+Every exchange travels as an :class:`~repro.net.envelope.Envelope` through a
+pluggable :class:`~repro.net.transport.Transport`: the default
+:class:`~repro.net.inline.InlineTransport` dispatches synchronously (the
+original semantics), while the event-driven and batching transports add
+simulated latency or per-period coalescing without touching protocol code.
+
 The ownership registry kept here is *simulator-side* state used for metrics
 and invariant checking; the protocol itself never consults it — clients
 discover groups exclusively through ``ACCEPT_OBJECT`` probes and servers know
@@ -26,8 +32,10 @@ from repro.core.messages import (
     AcceptKeyGroup,
     AcceptObject,
     AcceptObjectReply,
+    LoadReport,
     MessageCategory,
     MessageStats,
+    ReleaseKeyGroup,
 )
 from repro.core.policy import MergePolicy, SplitPolicy
 from repro.core.server import ClashServer
@@ -35,6 +43,9 @@ from repro.dht.hashspace import HashSpace
 from repro.dht.ring import ChordRing
 from repro.keys.identifier import IdentifierKey
 from repro.keys.keygroup import KeyGroup
+from repro.net.envelope import DhtAddress, Envelope
+from repro.net.inline import InlineTransport
+from repro.net.transport import Transport, TransportError
 from repro.util.rng import RandomStream
 from repro.util.validation import check_positive, check_type
 
@@ -115,6 +126,9 @@ class ClashSystem:
             policy (ablation hook).
         merge_policy_factory: Optional callable producing a per-server merge
             policy (ablation hook).
+        transport: The transport every inter-node envelope travels through
+            (defaults to a fresh :class:`~repro.net.inline.InlineTransport`,
+            which preserves direct synchronous dispatch).
     """
 
     def __init__(
@@ -124,6 +138,7 @@ class ClashSystem:
         rng: RandomStream | None = None,
         split_policy_factory=None,
         merge_policy_factory=None,
+        transport: Transport | None = None,
     ) -> None:
         check_type("config", config, ClashConfig)
         if not server_names:
@@ -161,6 +176,41 @@ class ClashSystem:
         self._group_owner: dict[KeyGroup, str] = {}
         self._messages = MessageStats()
         self._bootstrapped = False
+        self._transport = transport if transport is not None else InlineTransport()
+        self._transport.set_resolver(self._ring.lookup_key)
+        for name, server in self._servers.items():
+            self._transport.bind(name, self._make_endpoint(server))
+
+    def _make_endpoint(self, server: ClashServer):
+        """The transport-facing handler for one server.
+
+        Dispatches on the payload type of the incoming envelope; this is the
+        single place where transported messages re-enter server code.
+        """
+
+        def handle(envelope: Envelope):
+            payload = envelope.payload
+            if type(payload) is AcceptObject:
+                return server.handle_accept_object(payload)
+            if type(payload) is AcceptKeyGroup:
+                server.accept_keygroup(payload, queries=envelope.attachment)
+                return None
+            if type(payload) is ReleaseKeyGroup:
+                group = payload.group
+                if group not in server.table or not server.table.entry(group).active:
+                    # The child has split the group further since reporting;
+                    # refuse the release (the parent skips this merge).
+                    return None
+                return server.release_group(group)
+            if type(payload) is LoadReport:
+                server.receive_load_report(payload)
+                return None
+            raise TransportError(
+                f"server {server.name!r} cannot handle payload "
+                f"{type(payload).__name__}"
+            )
+
+        return handle
 
     # ------------------------------------------------------------------ #
     # Convenience constructors
@@ -206,6 +256,11 @@ class ClashSystem:
     def messages(self) -> MessageStats:
         """Cumulative message counters (reset with :meth:`reset_messages`)."""
         return self._messages
+
+    @property
+    def transport(self) -> Transport:
+        """The transport carrying every inter-node envelope."""
+        return self._transport
 
     def reset_messages(self) -> None:
         """Zero the message counters (typically at the start of an interval)."""
@@ -325,11 +380,17 @@ class ClashSystem:
                 f"got {estimated_depth}"
             )
         group = KeyGroup.from_key(key, estimated_depth)
-        lookup = self._ring.lookup_key(group.virtual_key)
-        cost = self._charge_lookup(lookup.hops)
         message = AcceptObject(key=key, estimated_depth=estimated_depth, sender=sender)
-        reply = self._servers[lookup.owner].handle_accept_object(message)
-        return reply, cost
+        delivery = self._transport.request(
+            Envelope(
+                source=sender,
+                destination=DhtAddress(group.virtual_key),
+                payload=message,
+                category=MessageCategory.LOOKUP,
+            )
+        )
+        cost = self._charge_lookup(delivery.hops)
+        return delivery.reply, cost
 
     def deliver_data(self, server_name: str, packet_count: float = 1.0) -> None:
         """Account application data packets delivered directly to a server."""
@@ -361,30 +422,38 @@ class ClashSystem:
         current = group
         for _attempt in range(self._config.split_retry_limit):
             left, right = current.split()
-            lookup = self._ring.lookup_key(right.virtual_key)
+            child_owner, hops = self._transport.resolve(right.virtual_key)
             if self._config.count_routing_hops:
-                self._messages.add(MessageCategory.DHT_ROUTING, lookup.hops)
-            if lookup.owner != server_name:
+                self._messages.add(MessageCategory.DHT_ROUTING, hops)
+            if child_owner != server_name:
                 left_group, right_group, migrated = server.perform_split(
-                    current, lookup.owner
+                    current, child_owner
                 )
                 transfer = AcceptKeyGroup(
                     group=right_group,
                     parent_server=server_name,
                     migrated_queries=len(migrated),
                 )
-                self._servers[lookup.owner].accept_keygroup(transfer, queries=migrated)
+                self._transport.request(
+                    Envelope(
+                        source=server_name,
+                        destination=child_owner,
+                        payload=transfer,
+                        category=MessageCategory.SPLIT,
+                        attachment=migrated,
+                    )
+                )
                 self._messages.add(MessageCategory.SPLIT, 2)  # transfer + ack
                 self._messages.add(MessageCategory.STATE_TRANSFER, len(migrated))
                 self._group_owner.pop(current, None)
                 self._group_owner[left_group] = server_name
-                self._group_owner[right_group] = lookup.owner
+                self._group_owner[right_group] = child_owner
                 return SplitOutcome(
                     parent_server=server_name,
                     group=current,
                     left=left_group,
                     right=right_group,
-                    child_server=lookup.owner,
+                    child_server=child_owner,
                     migrated_queries=len(migrated),
                     self_collisions=self_collisions,
                     shed=True,
@@ -428,9 +497,20 @@ class ClashSystem:
                 parent_name = server.table.entry(report.group).parent_id
                 if parent_name is None or parent_name not in self._servers:
                     continue
-                self._servers[parent_name].receive_load_report(report)
+                self._transport.post(
+                    Envelope(
+                        source=server.name,
+                        destination=parent_name,
+                        payload=report,
+                        category=MessageCategory.MERGE,
+                    )
+                )
                 self._messages.add(MessageCategory.MERGE, 1)
                 delivered += 1
+        # Deferred-delivery transports coalesce the reports per destination;
+        # they must land before consolidation reads them, so the period's
+        # batch window closes here.
+        self._transport.flush()
         return delivered
 
     def consolidate_server(self, server_name: str) -> list[MergeOutcome]:
@@ -448,19 +528,31 @@ class ClashSystem:
             child_server_name = entry.right_child_id
             if child_server_name is None or child_server_name not in self._servers:
                 continue
-            child_server = self._servers[child_server_name]
-            _left, right = parent_group.split()
-            if right not in child_server.table or not child_server.table.entry(right).active:
+            left, right = parent_group.split()
+            release = self._transport.request(
+                Envelope(
+                    source=server_name,
+                    destination=child_server_name,
+                    payload=ReleaseKeyGroup(group=right, child_server=child_server_name),
+                    category=MessageCategory.MERGE,
+                )
+            )
+            if release.reply is None:
                 # The child has split the group further since reporting; skip.
                 continue
-            returned = child_server.release_group(right)
-            left = parent_group.split()[0]
+            returned: list = release.reply
             if left not in server.table or not server.table.entry(left).active:
                 # The local left child changed under us; undo is not needed
                 # because release_group only removed the child's entry — put
                 # the right child back where it was.
-                child_server.accept_keygroup(
-                    AcceptKeyGroup(group=right, parent_server=server_name), queries=returned
+                self._transport.request(
+                    Envelope(
+                        source=server_name,
+                        destination=child_server_name,
+                        payload=AcceptKeyGroup(group=right, parent_server=server_name),
+                        category=MessageCategory.MERGE,
+                        attachment=returned,
+                    )
                 )
                 continue
             server.accept_keygroup_back(parent_group, queries=returned)
@@ -553,6 +645,7 @@ class ClashSystem:
                         surviving_parent[group] = name
                         break
         del self._servers[failed]
+        self._transport.unbind(failed)
         self._ring.remove_node(failed)
         self._ring.stabilise()
         reassigned: dict[KeyGroup, str] = {}
@@ -564,7 +657,14 @@ class ClashSystem:
                 group=group, parent_server=parent_name if parent_name else new_owner
             )
             if parent_name is not None:
-                self._servers[new_owner].accept_keygroup(transfer)
+                self._transport.request(
+                    Envelope(
+                        source=parent_name,
+                        destination=new_owner,
+                        payload=transfer,
+                        category=MessageCategory.SPLIT,
+                    )
+                )
                 # The parent's bookkeeping must name the new child owner so
                 # that future consolidations contact the right server.
                 self._servers[parent_name].table.entry(group.parent()).right_child_id = new_owner

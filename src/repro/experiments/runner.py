@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import ClashConfig
+from repro.net import TRANSPORT_KINDS
 from repro.sim.simulator import SimulationParams
 from repro.util.validation import check_positive, check_type
 from repro.workload.scenario import PhasedScenario, paper_scenario
@@ -43,6 +44,10 @@ class ExperimentScale:
         phase_duration: Length of each workload phase in seconds.
         load_check_period: Seconds between load checks.
         seed: Master random seed.
+        transport: Transport protocol messages travel through (``inline``,
+            ``event`` or ``batching``; see :mod:`repro.net`).
+        link_latency: One-way message latency in seconds when the event
+            transport is selected.
     """
 
     name: str
@@ -53,6 +58,8 @@ class ExperimentScale:
     phase_duration: float
     load_check_period: float
     seed: int = 20040324
+    transport: str = "inline"
+    link_latency: float = 0.0
 
     def __post_init__(self) -> None:
         check_type("server_count", self.server_count, int)
@@ -67,6 +74,15 @@ class ExperimentScale:
         check_positive("server_capacity", self.server_capacity)
         check_positive("phase_duration", self.phase_duration)
         check_positive("load_check_period", self.load_check_period)
+        if self.transport not in TRANSPORT_KINDS:
+            raise ValueError(
+                f"transport must be one of {', '.join(TRANSPORT_KINDS)}, "
+                f"got {self.transport!r}"
+            )
+        if self.link_latency < 0:
+            raise ValueError(
+                f"link_latency must be non-negative, got {self.link_latency}"
+            )
 
     @classmethod
     def paper(cls, query_clients: bool = False) -> "ExperimentScale":
@@ -141,6 +157,8 @@ class ExperimentScale:
             "query_client_count": self.query_client_count,
             "mean_stream_length": mean_stream_length,
             "seed": self.seed,
+            "transport": self.transport,
+            "link_latency": self.link_latency,
         }
         values.update(overrides)
         return SimulationParams(**values)

@@ -1,0 +1,117 @@
+"""Pluggable transports carrying all CLASH inter-node traffic.
+
+The protocol layer wraps every exchange in an
+:class:`~repro.net.envelope.Envelope` and hands it to a
+:class:`~repro.net.transport.Transport`; which transport is installed decides
+whether delivery is synchronous (:class:`~repro.net.inline.InlineTransport`),
+event-driven with simulated latency (:class:`~repro.net.event.EventTransport`)
+or batched per load-check period
+(:class:`~repro.net.batching.BatchingTransport`).
+
+:func:`build_transport` maps the user-facing ``--transport`` switch to a
+configured instance.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.batching import BatchingTransport
+from repro.net.envelope import Delivery, DhtAddress, Envelope
+from repro.net.inline import InlineTransport
+from repro.net.latency import (
+    ConstantLatency,
+    LatencyModel,
+    PerHopLatency,
+    UniformLatency,
+    ZeroLatency,
+)
+from repro.net.transport import Transport, TransportError
+from repro.util.rng import RandomStream
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.event import EventTransport
+    from repro.sim.engine import SimulationEngine
+
+__all__ = [
+    "Delivery",
+    "DhtAddress",
+    "Envelope",
+    "Transport",
+    "TransportError",
+    "InlineTransport",
+    "EventTransport",
+    "BatchingTransport",
+    "LatencyModel",
+    "ZeroLatency",
+    "ConstantLatency",
+    "UniformLatency",
+    "PerHopLatency",
+    "TRANSPORT_KINDS",
+    "build_transport",
+]
+
+TRANSPORT_KINDS = ("inline", "event", "batching")
+"""The transport names accepted by the CLI / experiment runner."""
+
+
+def __getattr__(name: str):
+    # EventTransport pulls in the simulation engine, whose package imports the
+    # protocol layer; loading it lazily keeps ``repro.net`` importable from
+    # ``repro.core.protocol`` without a cycle.
+    if name == "EventTransport":
+        from repro.net.event import EventTransport
+
+        return EventTransport
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def build_transport(
+    kind: str,
+    engine: "SimulationEngine | None" = None,
+    link_latency: float = 0.0,
+    latency_jitter: float = 0.0,
+    per_hop_latency: float = 0.0,
+    rng: RandomStream | None = None,
+) -> Transport:
+    """Construct a transport from the CLI-level description.
+
+    Args:
+        kind: One of :data:`TRANSPORT_KINDS`.
+        engine: Event kernel for the ``event`` transport (a private one is
+            created when omitted).
+        link_latency: Base one-way delivery latency in seconds (``event``).
+        latency_jitter: Half-width of uniform jitter around ``link_latency``;
+            requires ``rng`` for reproducibility (``event``).
+        per_hop_latency: Extra latency charged per Chord routing hop
+            (``event``); combined with ``link_latency`` as the base.
+        rng: Seeded stream used when ``latency_jitter`` is non-zero.
+    """
+    if kind == "inline":
+        return InlineTransport()
+    if kind == "batching":
+        return BatchingTransport()
+    if kind == "event":
+        from repro.net.event import EventTransport
+
+        latency: LatencyModel
+        if per_hop_latency > 0.0 and latency_jitter > 0.0:
+            raise ValueError(
+                "per_hop_latency and latency_jitter cannot be combined; "
+                "pick one latency model"
+            )
+        if per_hop_latency > 0.0:
+            latency = PerHopLatency(base=link_latency, per_hop=per_hop_latency)
+        elif latency_jitter > 0.0:
+            if rng is None:
+                raise ValueError("latency_jitter requires a seeded rng")
+            low = max(0.0, link_latency - latency_jitter)
+            latency = UniformLatency(low, link_latency + latency_jitter, rng)
+        elif link_latency > 0.0:
+            latency = ConstantLatency(link_latency)
+        else:
+            latency = ZeroLatency()
+        return EventTransport(engine=engine, latency=latency)
+    raise ValueError(
+        f"unknown transport kind {kind!r}; expected one of {', '.join(TRANSPORT_KINDS)}"
+    )

@@ -1,0 +1,86 @@
+"""Envelopes: the unit of traffic every CLASH transport carries.
+
+Every inter-node exchange — ``ACCEPT_OBJECT`` probes, ``ACCEPT_KEYGROUP``
+transfers, ``LOAD_REPORT`` deliveries, ``RELEASE_KEYGROUP`` requests — is
+wrapped in an :class:`Envelope` and handed to a
+:class:`~repro.net.transport.Transport`.  The destination is either the name
+of a concrete server endpoint or a :class:`DhtAddress`, in which case the
+transport resolves the owner through the underlying DHT (and reports the
+routing hops taken so the caller can charge them).
+
+Envelopes are deliberately tiny frozen records (``slots=True``): the depth
+discovery hot path creates one per probe, so per-envelope allocation cost
+matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.messages import MessageCategory
+from repro.keys.identifier import IdentifierKey
+
+__all__ = ["DhtAddress", "Envelope", "Delivery"]
+
+
+@dataclass(frozen=True, slots=True)
+class DhtAddress:
+    """A destination addressed by a virtual key rather than a server name.
+
+    The transport resolves the owner through the DHT (``Map(f(key))`` in the
+    paper) at delivery time; the resolved owner and the hop count travel back
+    in the :class:`Delivery`.
+
+    Attributes:
+        virtual_key: The identifier key whose DHT owner should receive the
+            envelope.
+    """
+
+    virtual_key: IdentifierKey
+
+
+@dataclass(frozen=True, slots=True)
+class Envelope:
+    """One protocol message in flight between two endpoints.
+
+    Attributes:
+        source: Name of the sending endpoint (client or server).
+        destination: Receiving endpoint — a server name, or a
+            :class:`DhtAddress` to be resolved through the DHT.
+        payload: The protocol message (one of the dataclasses in
+            :mod:`repro.core.messages`).
+        category: Accounting category of the message, when the caller wants
+            the transport's counters broken down (the protocol layer keeps its
+            own :class:`~repro.core.messages.MessageStats`; this field exists
+            for transport-level introspection and tracing).
+        attachment: Bulk state riding along with the message (e.g. the list of
+            persistent queries migrated by an ``ACCEPT_KEYGROUP``).  Kept out
+            of the frozen payload so message types stay cheap value objects.
+    """
+
+    source: str
+    destination: str | DhtAddress
+    payload: object
+    category: MessageCategory | None = None
+    attachment: object | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Delivery:
+    """The outcome of handing an envelope to a transport.
+
+    Attributes:
+        server: Name of the endpoint the envelope was (or will be) delivered
+            to, after any DHT resolution.
+        hops: DHT routing hops taken to resolve the destination (0 for
+            envelopes addressed directly to a server name).
+        reply: The receiving handler's return value for request/reply
+            exchanges; ``None`` for one-way envelopes.
+        latency: Simulated end-to-end latency of the exchange in seconds
+            (0 for transports that do not model time).
+    """
+
+    server: str
+    hops: int
+    reply: object | None = None
+    latency: float = 0.0

@@ -1,0 +1,29 @@
+"""Synchronous in-process delivery: the default transport.
+
+:class:`InlineTransport` dispatches every envelope to its endpoint handler
+immediately, on the caller's stack, exactly as the pre-transport code called
+server methods directly.  It adds no queuing, no clock and no reordering, so
+a deployment running on it reproduces the original execution bit for bit —
+same replies, same DHT hop charges, same split/merge sequences.
+"""
+
+from __future__ import annotations
+
+from repro.net.envelope import Delivery, Envelope
+from repro.net.transport import Transport
+
+__all__ = ["InlineTransport"]
+
+
+class InlineTransport(Transport):
+    """Zero-overhead synchronous dispatch (the original call semantics)."""
+
+    def request(self, envelope: Envelope) -> Delivery:
+        server, hops = self._route(envelope)
+        reply = self._dispatch(server, envelope)
+        return Delivery(server=server, hops=hops, reply=reply)
+
+    def post(self, envelope: Envelope) -> Delivery:
+        server, hops = self._route(envelope)
+        self._dispatch(server, envelope)
+        return Delivery(server=server, hops=hops)

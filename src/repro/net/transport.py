@@ -1,0 +1,155 @@
+"""The pluggable transport abstraction all CLASH traffic flows through.
+
+A :class:`Transport` owns the mapping from endpoint names to message handlers
+and knows how to resolve :class:`~repro.net.envelope.DhtAddress` destinations
+through the DHT.  The protocol layer
+(:class:`~repro.core.protocol.ClashSystem`) never calls a server directly —
+it wraps every exchange in an :class:`~repro.net.envelope.Envelope` and hands
+it to the transport, which makes latency models, event-driven delivery and
+batching a matter of configuration rather than new protocol code paths.
+
+Three interchangeable implementations ship with the package:
+
+* :class:`~repro.net.inline.InlineTransport` — zero-overhead synchronous
+  dispatch, preserving the original direct-call semantics bit for bit.
+* :class:`~repro.net.event.EventTransport` — routes envelopes through a
+  :class:`~repro.sim.engine.SimulationEngine` with a pluggable latency model.
+* :class:`~repro.net.batching.BatchingTransport` — coalesces same-destination
+  envelopes (and DHT route resolutions) per load-check period.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+from repro.net.envelope import Delivery, DhtAddress, Envelope
+
+__all__ = ["Handler", "RouteResolver", "Transport", "TransportError"]
+
+Handler = Callable[[Envelope], object]
+"""An endpoint's message handler: receives an envelope, returns the reply
+payload (or ``None`` for one-way messages)."""
+
+RouteResolver = Callable[[object], object]
+"""Resolves an identifier key to a DHT lookup result with ``owner`` and
+``hops`` attributes (:class:`~repro.dht.ring.LookupResult`)."""
+
+
+class TransportError(RuntimeError):
+    """Raised when an envelope cannot be delivered (unknown endpoint, no
+    resolver for a DHT-addressed destination, ...)."""
+
+
+class Transport(abc.ABC):
+    """Carries envelopes between named endpoints.
+
+    Lifecycle: the owner (normally :class:`~repro.core.protocol.ClashSystem`)
+    binds one handler per server with :meth:`bind`, installs a DHT resolver
+    with :meth:`set_resolver`, and then sends traffic with :meth:`request`
+    (synchronous request/reply) and :meth:`post` (one-way, possibly deferred
+    until :meth:`flush`).
+    """
+
+    def __init__(self) -> None:
+        self._handlers: dict[str, Handler] = {}
+        self._resolver: RouteResolver | None = None
+        self.envelopes_delivered = 0
+        self.routes_resolved = 0
+
+    # ------------------------------------------------------------------ #
+    # Endpoint management
+    # ------------------------------------------------------------------ #
+
+    def bind(self, name: str, handler: Handler) -> None:
+        """Register (or replace) the handler for endpoint ``name``."""
+        if not name:
+            raise ValueError("endpoint name must be non-empty")
+        self._handlers[name] = handler
+
+    def unbind(self, name: str) -> None:
+        """Remove an endpoint (e.g. after a server failure)."""
+        self._handlers.pop(name, None)
+        self.invalidate_routes()
+
+    def endpoints(self) -> list[str]:
+        """Names of every bound endpoint."""
+        return list(self._handlers)
+
+    def set_resolver(self, resolver: RouteResolver) -> None:
+        """Install the DHT lookup used for :class:`DhtAddress` destinations."""
+        self._resolver = resolver
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+
+    def resolve(self, virtual_key) -> tuple[str, int]:
+        """Resolve a virtual key to ``(owner, hops)`` through the DHT.
+
+        Exposed separately from delivery because the protocol sometimes needs
+        the route before deciding what to send (a splitting server must know
+        whether the right child maps back to itself).  Subclasses may cache
+        resolutions; the base implementation always asks the resolver.
+        """
+        if self._resolver is None:
+            raise TransportError("transport has no DHT resolver installed")
+        lookup = self._resolver(virtual_key)
+        self.routes_resolved += 1
+        return lookup.owner, lookup.hops
+
+    def _route(self, envelope: Envelope) -> tuple[str, int]:
+        """The concrete endpoint and hop charge for an envelope."""
+        destination = envelope.destination
+        if isinstance(destination, DhtAddress):
+            return self.resolve(destination.virtual_key)
+        return destination, 0
+
+    def _dispatch(self, name: str, envelope: Envelope) -> object:
+        """Invoke the handler bound to ``name`` (the actual delivery)."""
+        handler = self._handlers.get(name)
+        if handler is None:
+            raise TransportError(f"no endpoint bound for {name!r}")
+        self.envelopes_delivered += 1
+        return handler(envelope)
+
+    def invalidate_routes(self) -> None:
+        """Drop any cached DHT resolutions (ring membership changed)."""
+
+    # ------------------------------------------------------------------ #
+    # Latency surface (no-ops unless the transport models time)
+    # ------------------------------------------------------------------ #
+
+    def set_latency_model(self, latency) -> None:
+        """Install a latency model; ignored by transports that don't model time."""
+
+    def drain_latency_samples(self) -> list[float]:
+        """Per-delivery latencies recorded since the last drain (empty unless
+        the transport models time)."""
+        return []
+
+    # ------------------------------------------------------------------ #
+    # Delivery
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def request(self, envelope: Envelope) -> Delivery:
+        """Deliver an envelope and wait for the endpoint's reply."""
+
+    @abc.abstractmethod
+    def post(self, envelope: Envelope) -> Delivery:
+        """Send a one-way envelope.
+
+        Implementations may defer the actual handler invocation until
+        :meth:`flush`; the returned :class:`Delivery` always carries the
+        resolved endpoint and hop charge so the caller can account for the
+        message immediately.
+        """
+
+    def flush(self) -> int:
+        """Deliver every deferred envelope; returns how many were delivered.
+
+        Called at least once per load-check period by the protocol layer.
+        Transports with no deferred delivery return 0.
+        """
+        return 0

@@ -18,7 +18,7 @@ from repro.util.validation import check_non_negative
 __all__ = ["ScheduledEvent", "SimulationEngine"]
 
 
-@dataclass(order=True, frozen=True)
+@dataclass(order=True, frozen=True, slots=True)
 class ScheduledEvent:
     """An event in the simulation calendar.
 
@@ -55,6 +55,12 @@ class SimulationEngine:
     def processed(self) -> int:
         """Number of events fired so far."""
         return self._processed
+
+    def peek_time(self) -> float | None:
+        """Firing time of the earliest pending event (``None`` when idle)."""
+        if not self._queue:
+            return None
+        return self._queue[0].time
 
     def schedule_at(
         self, time: float, callback: Callable[[float], None], label: str = ""

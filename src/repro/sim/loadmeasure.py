@@ -36,6 +36,11 @@ class LoadMeasure:
         self._spec = spec
         self._total_rate = total_rate
         self._total_queries = total_queries
+        # (prefix, depth) → probability.  Period assignment asks for the same
+        # expectations every load check of a phase; the workload is immutable,
+        # so the answers never change and the weight-slice sums dominate the
+        # assignment loop without this cache.
+        self._prefix_probability_cache: dict[tuple[int, int], float] = {}
 
     @property
     def spec(self) -> WorkloadSpec:
@@ -53,8 +58,13 @@ class LoadMeasure:
         return self._total_queries
 
     def group_probability(self, group: KeyGroup) -> float:
-        """Probability that a freshly drawn key falls in ``group``."""
-        return self._spec.prefix_probability(group.prefix, group.depth)
+        """Probability that a freshly drawn key falls in ``group`` (memoized)."""
+        cache_key = (group.prefix, group.depth)
+        probability = self._prefix_probability_cache.get(cache_key)
+        if probability is None:
+            probability = self._spec.prefix_probability(group.prefix, group.depth)
+            self._prefix_probability_cache[cache_key] = probability
+        return probability
 
     def group_rate(self, group: KeyGroup) -> float:
         """Expected packet rate directed at ``group`` (packets/second)."""

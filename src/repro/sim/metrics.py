@@ -35,6 +35,9 @@ class PeriodSample:
             per second (the Figure 5 metric).
         message_breakdown: Signalling messages by category (per second, whole
             system).
+        mean_message_latency: Mean simulated per-message (one-way) delivery
+            latency over the period in seconds (0 unless the active transport
+            models time).
     """
 
     time: float
@@ -49,6 +52,7 @@ class PeriodSample:
     merges: int
     messages_per_server_per_second: float
     message_breakdown: dict[str, float] = field(default_factory=dict)
+    mean_message_latency: float = 0.0
 
 
 @dataclass(frozen=True)

@@ -29,13 +29,16 @@ from dataclasses import dataclass, field
 from repro.core.config import ClashConfig
 from repro.core.messages import MessageCategory
 from repro.core.protocol import ClashSystem
+from repro.net import TRANSPORT_KINDS, ConstantLatency, build_transport
+from repro.sim.engine import SimulationEngine
 from repro.sim.loadmeasure import LoadMeasure
 from repro.sim.metrics import MetricsRecorder, PeriodSample, PhaseSummary
 from repro.util.rng import SeedSequenceFactory
+from repro.util.stats import mean
 from repro.util.validation import check_positive, check_type
 from repro.workload.distributions import WorkloadSpec
 from repro.workload.queries import QueryPopulation
-from repro.workload.scenario import PhasedScenario
+from repro.workload.scenario import PhasedScenario, ScenarioPhase
 from repro.workload.sources import SourcePopulation
 
 __all__ = ["SimulationParams", "SimulationResult", "FlowSimulator"]
@@ -67,6 +70,16 @@ class SimulationParams:
             iterations per period.
         max_splits_per_server_per_iteration: Splits one server may perform in
             a single load-check pass.
+        transport: Which transport carries protocol messages — ``"inline"``
+            (synchronous, the seed semantics), ``"event"`` (event-kernel
+            delivery with simulated latency) or ``"batching"`` (per-period
+            coalescing).
+        link_latency: Base one-way message latency in seconds (``event``
+            transport only; scenario phases may override it).
+        latency_jitter: Half-width of uniform per-message jitter around
+            ``link_latency`` (``event`` transport only).
+        per_hop_latency: Extra latency per Chord routing hop (``event``
+            transport only).
     """
 
     server_count: int = 100
@@ -78,6 +91,10 @@ class SimulationParams:
     lookup_sample_size: int = 40
     max_balance_iterations: int = 30
     max_splits_per_server_per_iteration: int = 1
+    transport: str = "inline"
+    link_latency: float = 0.0
+    latency_jitter: float = 0.0
+    per_hop_latency: float = 0.0
 
     def __post_init__(self) -> None:
         check_type("server_count", self.server_count, int)
@@ -97,6 +114,14 @@ class SimulationParams:
         check_positive(
             "max_splits_per_server_per_iteration", self.max_splits_per_server_per_iteration
         )
+        if self.transport not in TRANSPORT_KINDS:
+            raise ValueError(
+                f"transport must be one of {', '.join(TRANSPORT_KINDS)}, "
+                f"got {self.transport!r}"
+            )
+        for name in ("link_latency", "latency_jitter", "per_hop_latency"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative, got {getattr(self, name)}")
 
     @classmethod
     def paper_scale(cls, query_clients: bool = False, mean_stream_length: float = 1000.0) -> "SimulationParams":
@@ -192,13 +217,26 @@ class FlowSimulator:
             )
         self._config = config
         seeds = SeedSequenceFactory(params.seed)
+        self._engine = SimulationEngine() if params.transport == "event" else None
+        self._transport = build_transport(
+            params.transport,
+            engine=self._engine,
+            link_latency=params.link_latency,
+            latency_jitter=params.latency_jitter,
+            per_hop_latency=params.per_hop_latency,
+            rng=seeds.stream("latency"),
+        )
         self._system = ClashSystem.create(
             config,
             server_count=params.server_count,
             rng=seeds.stream("ring"),
             bootstrap=False,
+            transport=self._transport,
         )
         self._system.bootstrap(config.initial_depth)
+        self._churn_rng = seeds.stream("churn")
+        self._phase_index: int | None = None
+        self._measures: dict[str, LoadMeasure] = {}
         first_spec = scenario.workload_at(0.0)
         self._sources = SourcePopulation(
             count=params.source_count,
@@ -226,6 +264,16 @@ class FlowSimulator:
         return self._system
 
     @property
+    def transport(self):
+        """The transport protocol messages travel through."""
+        return self._transport
+
+    @property
+    def engine(self) -> SimulationEngine | None:
+        """The event kernel (``None`` unless the event transport is active)."""
+        return self._engine
+
+    @property
     def label(self) -> str:
         """The run's label (CLASH, or DHT(x) for fixed-depth baselines)."""
         if self._fixed_depth is None:
@@ -237,12 +285,19 @@ class FlowSimulator:
     # ------------------------------------------------------------------ #
 
     def _build_measure(self, spec: WorkloadSpec) -> LoadMeasure:
-        total_rate = self._params.source_count * spec.source_rate
-        return LoadMeasure(
-            spec=spec,
-            total_rate=total_rate,
-            total_queries=float(self._params.query_client_count),
-        )
+        # One memoized measure per workload: the prefix-probability cache
+        # inside LoadMeasure then persists across periods of the same phase,
+        # so repeated period assignments stop recomputing identical
+        # expectations.
+        measure = self._measures.get(spec.name)
+        if measure is None or measure.spec is not spec:
+            measure = LoadMeasure(
+                spec=spec,
+                total_rate=self._params.source_count * spec.source_rate,
+                total_queries=float(self._params.query_client_count),
+            )
+            self._measures[spec.name] = measure
+        return measure
 
     def _assign_loads(self, measure: LoadMeasure) -> None:
         """Give every active group its expected rate and query count."""
@@ -260,6 +315,26 @@ class FlowSimulator:
         for owner in self._system.active_servers():
             percents.append(self._system.server(owner).load_percent())
         return percents
+
+    # ------------------------------------------------------------------ #
+    # Scenario environment knobs (churn, per-phase latency)
+    # ------------------------------------------------------------------ #
+
+    def _enter_phase(self, index: int) -> None:
+        """Apply a newly entered phase's churn and latency knobs."""
+        if index == self._phase_index:
+            return
+        self._phase_index = index
+        phase: ScenarioPhase = self._scenario.phase_at(index)
+        if phase.link_latency is not None:
+            # No-op on transports that don't model time (inline, batching).
+            self._transport.set_latency_model(ConstantLatency(phase.link_latency))
+        for _ in range(phase.fail_servers):
+            names = sorted(self._system.server_names())
+            if len(names) <= 1:
+                break
+            victim = self._churn_rng.choice(names)
+            self._system.handle_server_failure(victim)
 
     # ------------------------------------------------------------------ #
     # Protocol reaction within one period
@@ -345,14 +420,17 @@ class FlowSimulator:
         period = self._config.load_check_period
         duration = self._scenario.total_duration
         time = 0.0
-        server_count = self._params.server_count
         while time < duration:
             period_end = min(time + period, duration)
+            # Counters reset before churn so that failure-recovery traffic
+            # (ACCEPT_KEYGROUP re-issues) is charged to the period it happens
+            # in rather than silently discarded.
+            self._system.reset_messages()
+            self._enter_phase(self._scenario.phase_index_at(time))
             spec = self._scenario.workload_at(time)
             self._sources.switch_workload(spec)
             self._queries.switch_workload(spec)
             measure = self._build_measure(spec)
-            self._system.reset_messages()
             splits, merges, redirected, _migrated = self._balance(measure)
             self._total_splits += splits
             self._total_merges += merges
@@ -365,6 +443,7 @@ class FlowSimulator:
                 for category, count in self._system.messages.snapshot().items()
                 if category != MessageCategory.DATA.value
             }
+            latency_samples = self._transport.drain_latency_samples()
             sample = PeriodSample(
                 time=period_end,
                 workload=spec.name,
@@ -376,12 +455,20 @@ class FlowSimulator:
                 max_depth=float(max_depth),
                 splits=splits,
                 merges=merges,
+                # Per *live* server: churn shrinks the deployment, and the
+                # Figure 5 metric should reflect the servers actually present.
                 messages_per_server_per_second=signalling
                 / (period_end - time)
-                / server_count,
+                / max(1, len(self._system.server_names())),
                 message_breakdown=breakdown,
+                mean_message_latency=mean(latency_samples) if latency_samples else 0.0,
             )
             self._recorder.record(sample)
+            if self._engine is not None:
+                # Message exchanges advanced the event clock within the
+                # period; align the kernel with the period boundary so the
+                # next period's traffic is stamped consistently.
+                self._engine.run_until(max(self._engine.now, period_end))
             time = period_end
         return SimulationResult(
             label=self.label,

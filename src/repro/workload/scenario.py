@@ -1,10 +1,22 @@
-"""Phased workload scenarios (the paper's 6-hour A → B → C schedule)."""
+"""Phased workload scenarios (the paper's 6-hour A → B → C schedule).
+
+Beyond the workload skew itself, each phase can carry two environment knobs
+the event-driven transport and the simulator react to:
+
+* ``fail_servers`` — how many randomly chosen servers abruptly fail when the
+  phase begins (churn; recovery follows
+  :meth:`~repro.core.protocol.ClashSystem.handle_server_failure`).
+* ``link_latency`` — a per-phase one-way message latency override, applied to
+  the event transport's latency model for the duration of the phase.
+
+Both default to "off", so existing scenarios are unchanged.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.util.validation import check_positive
+from repro.util.validation import check_non_negative, check_positive
 from repro.workload.distributions import (
     WorkloadSpec,
     workload_a,
@@ -12,7 +24,12 @@ from repro.workload.distributions import (
     workload_c,
 )
 
-__all__ = ["ScenarioPhase", "PhasedScenario", "paper_scenario"]
+__all__ = [
+    "ScenarioPhase",
+    "PhasedScenario",
+    "paper_scenario",
+    "churn_latency_scenario",
+]
 
 
 @dataclass(frozen=True)
@@ -22,13 +39,25 @@ class ScenarioPhase:
     Attributes:
         spec: The workload active during the phase.
         duration: Phase length in seconds.
+        fail_servers: Number of randomly selected servers that fail at the
+            start of the phase (0 = no churn).
+        link_latency: One-way message latency in seconds enforced while the
+            phase is active (``None`` = keep the transport's current model).
     """
 
     spec: WorkloadSpec
     duration: float
+    fail_servers: int = 0
+    link_latency: float | None = None
 
     def __post_init__(self) -> None:
         check_positive("duration", self.duration)
+        if self.fail_servers < 0:
+            raise ValueError(
+                f"fail_servers must be non-negative, got {self.fail_servers}"
+            )
+        if self.link_latency is not None:
+            check_non_negative("link_latency", self.link_latency)
 
 
 class PhasedScenario:
@@ -90,6 +119,10 @@ class PhasedScenario:
             boundaries.append(boundaries[-1] + phase.duration)
         return boundaries
 
+    def phase_at(self, index: int) -> ScenarioPhase:
+        """The phase with the given index."""
+        return self._phases[index]
+
 
 def paper_scenario(
     base_bits: int = 8, phase_duration: float = 7200.0
@@ -100,5 +133,37 @@ def paper_scenario(
             ScenarioPhase(spec=workload_a(base_bits), duration=phase_duration),
             ScenarioPhase(spec=workload_b(base_bits), duration=phase_duration),
             ScenarioPhase(spec=workload_c(base_bits), duration=phase_duration),
+        ]
+    )
+
+
+def churn_latency_scenario(
+    base_bits: int = 8,
+    phase_duration: float = 7200.0,
+    fail_servers: tuple[int, int, int] = (0, 2, 0),
+    link_latency: tuple[float | None, float | None, float | None] = (
+        0.005,
+        0.02,
+        0.05,
+    ),
+) -> PhasedScenario:
+    """An A → B → C scenario with churn and rising per-phase link latency.
+
+    The defaults model a deployment that degrades as it heats up: cheap links
+    under the uniform workload, a couple of node failures and slower links
+    when the moderate skew arrives, and WAN-like latency during the hot-spot
+    phase.  Designed for the event transport; with the inline transport the
+    latency knobs are ignored and only churn takes effect.
+    """
+    specs = (workload_a(base_bits), workload_b(base_bits), workload_c(base_bits))
+    return PhasedScenario(
+        [
+            ScenarioPhase(
+                spec=spec,
+                duration=phase_duration,
+                fail_servers=fails,
+                link_latency=latency,
+            )
+            for spec, fails, latency in zip(specs, fail_servers, link_latency)
         ]
     )

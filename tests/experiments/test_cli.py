@@ -25,6 +25,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig9"])
 
+    def test_transport_defaults_to_inline(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.transport == "inline"
+        assert args.link_latency == 0.0
+
+    def test_transport_choices(self):
+        for kind in ("inline", "event", "batching"):
+            assert build_parser().parse_args(["fig4", "--transport", kind]).transport == kind
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4", "--transport", "smoke-signals"])
+
 
 class TestMain:
     def test_fig1_writes_report(self, tmp_path: pathlib.Path, capsys):
@@ -67,3 +78,59 @@ class TestMain:
         assert exit_code == 0
         content = (tmp_path / "figure1_figure2.txt").read_text()
         assert "0110*" in content
+
+    def test_same_seed_reproduces_figure4_byte_for_byte(self, tmp_path: pathlib.Path):
+        argv = [
+            "fig4",
+            "--scale-factor",
+            "100",
+            "--phase-periods",
+            "2",
+            "--seed",
+            "99",
+            "--quiet",
+        ]
+        assert main([*argv, "--output-dir", str(tmp_path / "first")]) == 0
+        assert main([*argv, "--output-dir", str(tmp_path / "second")]) == 0
+        for name in ("figure4.txt", "figure4_max_load_series.csv"):
+            first = (tmp_path / "first" / name).read_text()
+            second = (tmp_path / "second" / name).read_text()
+            assert first == second
+
+    def test_fig4_runs_over_batching_transport(self, tmp_path: pathlib.Path):
+        exit_code = main(
+            [
+                "fig4",
+                "--output-dir",
+                str(tmp_path),
+                "--scale-factor",
+                "100",
+                "--phase-periods",
+                "2",
+                "--transport",
+                "batching",
+                "--quiet",
+            ]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "figure4.txt").exists()
+
+    def test_fig4_runs_over_event_transport_with_latency(self, tmp_path: pathlib.Path):
+        exit_code = main(
+            [
+                "fig4",
+                "--output-dir",
+                str(tmp_path),
+                "--scale-factor",
+                "100",
+                "--phase-periods",
+                "2",
+                "--transport",
+                "event",
+                "--link-latency",
+                "0.01",
+                "--quiet",
+            ]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "figure4.txt").exists()

@@ -1,0 +1,63 @@
+"""Benchmark smoke test (``pytest -m bench_smoke``).
+
+The benchmark files under ``benchmarks/`` are not collected by the regular
+test run (they are named ``bench_*.py``), so an import error or a drifted API
+there would only surface when someone runs the full suite.  This smoke test
+imports every benchmark module and executes one tiny benchmark configuration,
+keeping the suite import-clean at tier-1 cost.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+
+def _import_from_path(path: pathlib.Path):
+    # ``benchmarks`` is importable as a namespace package only when the repo
+    # root is on sys.path; the bench modules import their shared conftest
+    # through it.
+    if str(REPO_ROOT) not in sys.path:
+        sys.path.insert(0, str(REPO_ROOT))
+    name = f"benchmarks.{path.stem}"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.bench_smoke
+def test_every_benchmark_module_imports_cleanly():
+    paths = sorted(BENCH_DIR.glob("bench_*.py"))
+    assert paths, "no benchmark modules found"
+    for path in paths:
+        _import_from_path(path)
+
+
+@pytest.mark.bench_smoke
+def test_tiny_depth_search_benchmark_config_executes():
+    """One miniature run of the depth-search benchmark workload."""
+    bench = _import_from_path(BENCH_DIR / "bench_depth_search.py")
+    from repro.keys.identifier import RandomKeyGenerator
+    from repro.util.rng import RandomStream
+    from repro.workload.distributions import workload_b
+
+    system = bench._build_skewed_system(seed=13, splits=30)
+    client = system.make_client("smoke-client")
+    generator = RandomKeyGenerator(
+        width=system.config.key_bits,
+        base_bits=8,
+        rng=RandomStream(99),
+        base_weights=workload_b().weights,
+    )
+    probes = [
+        client.find_group(generator.generate(), use_cache=False).probes
+        for _ in range(25)
+    ]
+    assert all(1 <= count <= system.config.key_bits + 1 for count in probes)
