@@ -3,7 +3,7 @@
 
 PYTEST := PYTHONPATH=src python -m pytest
 
-.PHONY: check lint test bench-smoke bench
+.PHONY: check lint test bench-smoke bench bench-check bench-baseline
 
 check: lint test
 
@@ -25,3 +25,14 @@ bench-smoke:
 # The full benchmark suite (regenerates the paper's figures; minutes).
 bench:
 	$(PYTEST) -q benchmarks
+
+# Regression gate: re-run the reference workloads and fail loudly on any
+# metric drift or a >25% wall-clock regression against BENCH_BASELINE.json.
+# CI uses `--skip-wallclock` (shared runners time differently); see
+# docs/PERFORMANCE.md for the update workflow.
+bench-check:
+	PYTHONPATH=src python benchmarks/baseline.py --check
+
+# Re-record BENCH_BASELINE.json after an intentional perf/behaviour change.
+bench-baseline:
+	PYTHONPATH=src python benchmarks/baseline.py --update

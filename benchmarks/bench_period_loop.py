@@ -1,0 +1,98 @@
+"""Benchmark E8 — the incremental period engine (hot-path regression guard).
+
+The period loop is the simulator's hot path: every LOAD_CHECK_PERIOD the
+CLASH deployment re-assigns expected loads and iterates load checks until the
+configuration stabilises.  This benchmark runs the ``scaled(factor=4)``
+configuration (250 servers, 25,000 sources, thousands of splits/merges) two
+ways — with the incremental dirty-group assignment engine and with a forced
+from-scratch assignment every iteration — and asserts that
+
+* the two modes produce *identical* ``PeriodSample`` streams (the incremental
+  engine is a pure optimisation), and
+* the incremental mode is not slower (it skips strictly redundant work).
+
+The wall-clock regression gate against the committed reference numbers lives
+in ``benchmarks/baseline.py`` (``make bench-check``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentScale
+from repro.sim.simulator import FlowSimulator, SimulationResult
+
+
+def _build_simulator(force_full_assignment: bool) -> FlowSimulator:
+    scale = ExperimentScale.scaled(factor=4, phase_periods=4)
+    simulator = FlowSimulator(
+        config=scale.config(), params=scale.params(), scenario=scale.scenario()
+    )
+    simulator._force_full_assignment = force_full_assignment
+    return simulator
+
+
+def _timed_run(force_full_assignment: bool) -> tuple[SimulationResult, float]:
+    simulator = _build_simulator(force_full_assignment)
+    start = time.perf_counter()
+    result = simulator.run()
+    return result, time.perf_counter() - start
+
+
+def test_period_loop_incremental_matches_full_assignment(benchmark):
+    def run_both():
+        incremental, incremental_time = _timed_run(force_full_assignment=False)
+        full, full_time = _timed_run(force_full_assignment=True)
+        return incremental, full, incremental_time, full_time
+
+    incremental, full, incremental_time, full_time = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["mode", "wall-clock (s)", "splits", "merges", "final groups"],
+            [
+                [
+                    "incremental",
+                    f"{incremental_time:.3f}",
+                    incremental.total_splits,
+                    incremental.total_merges,
+                    incremental.final_active_groups,
+                ],
+                [
+                    "full reassignment",
+                    f"{full_time:.3f}",
+                    full.total_splits,
+                    full.total_merges,
+                    full.final_active_groups,
+                ],
+            ],
+        )
+    )
+    # Identical protocol dynamics, sample for sample and field for field.
+    assert incremental.total_splits == full.total_splits
+    assert incremental.total_merges == full.total_merges
+    assert incremental.final_active_groups == full.final_active_groups
+    assert len(incremental.metrics.samples) == len(full.metrics.samples)
+    for sample, reference in zip(incremental.metrics.samples, full.metrics.samples):
+        assert sample == reference
+    # The incremental engine must not be slower than re-assigning everything.
+    assert incremental_time <= full_time * 1.10, (
+        f"incremental period engine took {incremental_time:.3f}s vs "
+        f"{full_time:.3f}s for full reassignment"
+    )
+
+
+def test_period_loop_produces_expected_dynamics(benchmark):
+    """The absolute dynamics of the scaled(4) run (guards metric drift)."""
+    result, _elapsed = benchmark.pedantic(
+        lambda: _timed_run(force_full_assignment=False), rounds=1, iterations=1
+    )
+    samples = result.metrics.samples
+    assert len(samples) == 12  # 3 phases x 4 periods
+    # The skewed phases must actually exercise the split/merge machinery.
+    assert result.total_splits > 100
+    assert result.total_merges > 100
+    assert all(sample.max_load_percent > 0.0 for sample in samples)

@@ -29,6 +29,10 @@ class LoadModel:
     def __init__(self, config: ClashConfig) -> None:
         check_type("config", config, ClashConfig)
         self._config = config
+        # The config is frozen, so the derived thresholds are computed once;
+        # the overload/underload probes run hot inside every load check.
+        self._overload_load = config.overload_load
+        self._underload_load = config.underload_load
 
     @property
     def config(self) -> ClashConfig:
@@ -58,12 +62,12 @@ class LoadModel:
     def is_overloaded(self, total_load: float) -> bool:
         """True if an absolute load exceeds the overload threshold."""
         check_non_negative("total_load", total_load)
-        return total_load > self._config.overload_load
+        return total_load > self._overload_load
 
     def is_underloaded(self, total_load: float) -> bool:
         """True if an absolute load is below the underload threshold."""
         check_non_negative("total_load", total_load)
-        return total_load < self._config.underload_load
+        return total_load < self._underload_load
 
     def is_cold(self, group_load: float) -> bool:
         """True if a single group's load is low enough to consider consolidating.

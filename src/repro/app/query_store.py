@@ -44,6 +44,11 @@ class QueryStore:
 
     def __init__(self) -> None:
         self._queries: dict[int, Query] = {}
+        #: Monotonic counter bumped by every mutation.  Load caches key on
+        #: it (a plain attribute: the staleness probe is extremely hot): a
+        #: server's cached per-group loads stay valid exactly as long as the
+        #: store (and the other load inputs) have not changed.
+        self.version = 0
 
     def __len__(self) -> int:
         return len(self._queries)
@@ -56,6 +61,7 @@ class QueryStore:
         if query.query_id in self._queries:
             raise ValueError(f"query id {query.query_id} is already registered")
         self._queries[query.query_id] = query
+        self.version += 1
 
     def add_all(self, queries: list[Query]) -> None:
         """Register several queries."""
@@ -66,6 +72,7 @@ class QueryStore:
         """Deregister and return a query."""
         if query_id not in self._queries:
             raise KeyError(f"no query with id {query_id}")
+        self.version += 1
         return self._queries.pop(query_id)
 
     def queries(self) -> list[Query]:
@@ -87,6 +94,8 @@ class QueryStore:
         ]
         for query in moving:
             del self._queries[query.query_id]
+        if moving:
+            self.version += 1
         return moving
 
     def expire(self, now: float) -> list[Query]:
@@ -94,4 +103,6 @@ class QueryStore:
         expired = [query for query in self._queries.values() if query.expires_at <= now]
         for query in expired:
             del self._queries[query.query_id]
+        if expired:
+            self.version += 1
         return expired

@@ -101,6 +101,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="only write files, do not print the reports to stdout",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the figure generation under cProfile, write the raw stats "
+        "to <output-dir>/profile.pstats and print a top-N cumulative-time "
+        "table (for before/after comparisons in performance work)",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        help="number of functions shown in the --profile table (default: 25)",
+    )
     return parser
 
 
@@ -186,8 +199,36 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     figures = list(_COMMANDS) if args.figure == "all" else [args.figure]
     written: list[pathlib.Path] = []
-    for figure in figures:
-        written.extend(_COMMANDS[figure](args))
+
+    def generate() -> None:
+        for figure in figures:
+            written.extend(_COMMANDS[figure](args))
+
+    if args.profile:
+        import cProfile
+        import pstats
+
+        from repro.experiments.reporting import render_profile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            generate()
+        finally:
+            # Write the profile even when generation dies part-way — a run
+            # slow enough to be interrupted is exactly the one worth
+            # profiling.
+            profiler.disable()
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            stats_path = args.output_dir / "profile.pstats"
+            profiler.dump_stats(stats_path)
+            stats = pstats.Stats(profiler)
+            print()
+            print(f"Profile — top {args.profile_top} functions by cumulative time")
+            print(render_profile(stats, top=args.profile_top))
+            print(f"[raw stats written to {stats_path}]")
+    else:
+        generate()
     if not args.quiet:
         print(f"\n{len(written)} report file(s) written to {args.output_dir}/")
     return 0

@@ -99,10 +99,29 @@ class MergeOutcome:
 
 @dataclass
 class _LoadCheckReport:
-    """Aggregate outcome of one system-wide load check."""
+    """Aggregate outcome of one system-wide load check.
+
+    Attributes:
+        splits: Every split performed during the check.
+        merges: Every consolidation performed during the check.
+        touched_groups: Every key group whose assignment (owner, measured
+            rate or query override) may have changed during the check —
+            split parents and both children (including self-collision
+            intermediates), merge parents and the released children, and
+            shed/handoff targets.  An incremental load assigner only needs
+            to refresh these groups; all others still carry exact values.
+        retired_assignments: ``(group, former owner)`` pairs for every
+            deactivation during the check.  A full reassignment implicitly
+            discards the former owner's measurements via ``reset_interval``;
+            an incremental assigner must prune them explicitly (stale query
+            overrides would otherwise be resurrected if the same group is
+            re-activated on that server in a later check).
+    """
 
     splits: list[SplitOutcome] = field(default_factory=list)
     merges: list[MergeOutcome] = field(default_factory=list)
+    touched_groups: set[KeyGroup] = field(default_factory=set)
+    retired_assignments: list[tuple[KeyGroup, str]] = field(default_factory=list)
 
     @property
     def split_count(self) -> int:
@@ -174,6 +193,15 @@ class ClashSystem:
                 merge_policy=merge_policy,
             )
         self._group_owner: dict[KeyGroup, str] = {}
+        # Maintained indexes over the ownership registry.  They are mutated
+        # exclusively through _register_group/_unregister_group so that
+        # active_servers() and depth_statistics() are O(active servers) /
+        # O(distinct depths) reads instead of full registry scans.
+        self._owner_counts: dict[str, int] = {}
+        self._depth_counts: dict[int, int] = {}
+        self._depth_total = 0
+        self._touched_groups: set[KeyGroup] = set()
+        self._retired_assignments: list[tuple[KeyGroup, str]] = []
         self._messages = MessageStats()
         self._bootstrapped = False
         self._transport = transport if transport is not None else InlineTransport()
@@ -282,18 +310,85 @@ class ClashSystem:
 
     def active_servers(self) -> list[str]:
         """Names of the servers currently managing at least one key group."""
-        return sorted({owner for owner in self._group_owner.values()})
+        return sorted(self._owner_counts)
 
     def active_groups(self) -> dict[KeyGroup, str]:
         """The current (active key group → owning server) map."""
         return dict(self._group_owner)
 
     def depth_statistics(self) -> tuple[int, float, int]:
-        """(min, average, max) depth over all active key groups."""
+        """(min, average, max) depth over all active key groups.
+
+        Served from the maintained depth histogram: min/max scan the distinct
+        depths present and the average divides the maintained depth sum, so
+        the numbers are identical to a full registry scan at a fraction of
+        the cost.
+        """
         if not self._group_owner:
             raise ValueError("the system has no active key groups")
-        depths = [group.depth for group in self._group_owner]
-        return min(depths), sum(depths) / len(depths), max(depths)
+        return (
+            min(self._depth_counts),
+            self._depth_total / len(self._group_owner),
+            max(self._depth_counts),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Ownership registry maintenance
+    # ------------------------------------------------------------------ #
+
+    def _register_group(self, group: KeyGroup, owner: str) -> None:
+        """Record ``owner`` as managing ``group``, updating every index."""
+        previous = self._group_owner.get(group)
+        if previous is not None:
+            self._unregister_group(group)
+        self._group_owner[group] = owner
+        self._owner_counts[owner] = self._owner_counts.get(owner, 0) + 1
+        self._depth_counts[group.depth] = self._depth_counts.get(group.depth, 0) + 1
+        self._depth_total += group.depth
+        self._touched_groups.add(group)
+
+    def _unregister_group(self, group: KeyGroup) -> None:
+        """Drop ``group`` from the registry, updating every index."""
+        owner = self._group_owner.pop(group, None)
+        if owner is None:
+            return
+        remaining = self._owner_counts[owner] - 1
+        if remaining:
+            self._owner_counts[owner] = remaining
+        else:
+            del self._owner_counts[owner]
+        depth_remaining = self._depth_counts[group.depth] - 1
+        if depth_remaining:
+            self._depth_counts[group.depth] = depth_remaining
+        else:
+            del self._depth_counts[group.depth]
+        self._depth_total -= group.depth
+        self._touched_groups.add(group)
+        self._retired_assignments.append((group, owner))
+
+    def drain_touched_groups(self) -> set[KeyGroup]:
+        """Return-and-clear the groups touched since the last drain.
+
+        The flow simulator feeds these into its dirty-group load assignment;
+        a caller that never drains simply accumulates a larger (still
+        correct) dirty set.
+        """
+        touched, self._touched_groups = self._touched_groups, set()
+        return touched
+
+    def drain_retired_assignments(self) -> list[tuple[KeyGroup, str]]:
+        """Return-and-clear the ``(group, former owner)`` deactivation log.
+
+        See :attr:`_LoadCheckReport.retired_assignments` for why an
+        incremental assigner must consume these.
+        """
+        retired, self._retired_assignments = self._retired_assignments, []
+        return retired
+
+    def clear_all_child_reports(self) -> None:
+        """Drop every server's child load reports (a period-boundary reset)."""
+        for server in self._servers.values():
+            server.clear_child_reports()
 
     def make_client(self, name: str) -> ClashClient:
         """Create a client wired to this system's transport."""
@@ -327,7 +422,7 @@ class ClashSystem:
             group = KeyGroup(prefix=prefix, depth=depth, width=self._config.key_bits)
             owner = self._ring.owner_of(self._ring.hash_function.hash_key(group.virtual_key))
             self._servers[owner].assign_root_group(group)
-            self._group_owner[group] = owner
+            self._register_group(group, owner)
         self._bootstrapped = True
 
     # ------------------------------------------------------------------ #
@@ -353,6 +448,14 @@ class ClashSystem:
         if group not in self._group_owner:
             raise KeyError(f"group {group} is not an active key group")
         return self._group_owner[group]
+
+    def find_owner(self, group: KeyGroup) -> str | None:
+        """The owner of ``group``, or ``None`` when it is not active.
+
+        A copy-free single-group read (``active_groups()`` copies the whole
+        registry, which the per-iteration dirty-assignment path must avoid).
+        """
+        return self._group_owner.get(group)
 
     # ------------------------------------------------------------------ #
     # Message transport
@@ -445,9 +548,9 @@ class ClashSystem:
                 )
                 self._messages.add(MessageCategory.SPLIT, 2)  # transfer + ack
                 self._messages.add(MessageCategory.STATE_TRANSFER, len(migrated))
-                self._group_owner.pop(current, None)
-                self._group_owner[left_group] = server_name
-                self._group_owner[right_group] = child_owner
+                self._unregister_group(current)
+                self._register_group(left_group, server_name)
+                self._register_group(right_group, child_owner)
                 return SplitOutcome(
                     parent_server=server_name,
                     group=current,
@@ -463,9 +566,9 @@ class ClashSystem:
             if current.depth + 1 >= self._config.effective_max_depth:
                 break
             left_group, right_group = server.perform_local_split(current)
-            self._group_owner.pop(current, None)
-            self._group_owner[left_group] = server_name
-            self._group_owner[right_group] = server_name
+            self._unregister_group(current)
+            self._register_group(left_group, server_name)
+            self._register_group(right_group, server_name)
             self_collisions += 1
             current = right_group
         return SplitOutcome(
@@ -491,11 +594,10 @@ class ClashSystem:
         """
         delivered = 0
         for server in self._servers.values():
-            for report in server.build_load_reports():
-                # The child knows its parent server directly: it is the
-                # ParentID recorded when the group was transferred.
-                parent_name = server.table.entry(report.group).parent_id
-                if parent_name is None or parent_name not in self._servers:
+            # The child knows its parent server directly: it is the ParentID
+            # recorded when the group was transferred.
+            for parent_name, report in server.addressed_load_reports():
+                if parent_name not in self._servers:
                     continue
                 self._transport.post(
                     Envelope(
@@ -554,13 +656,16 @@ class ClashSystem:
                         attachment=returned,
                     )
                 )
+                # Ownership never changed, but the release dropped the child's
+                # measured rate for the group — it must be reassigned.
+                self._touched_groups.add(right)
                 continue
             server.accept_keygroup_back(parent_group, queries=returned)
             self._messages.add(MessageCategory.MERGE, 2)  # release request + transfer
             self._messages.add(MessageCategory.STATE_TRANSFER, len(returned))
-            self._group_owner.pop(left, None)
-            self._group_owner.pop(right, None)
-            self._group_owner[parent_group] = server_name
+            self._unregister_group(left)
+            self._unregister_group(right)
+            self._register_group(parent_group, server_name)
             outcomes.append(
                 MergeOutcome(
                     parent_server=server_name,
@@ -602,6 +707,8 @@ class ClashSystem:
             # merging into a busy server would immediately re-trigger a split.
             if server.is_underloaded():
                 report.merges.extend(self.consolidate_server(name))
+        report.touched_groups |= self.drain_touched_groups()
+        report.retired_assignments.extend(self.drain_retired_assignments())
         return report
 
     # ------------------------------------------------------------------ #
@@ -650,7 +757,7 @@ class ClashSystem:
         self._ring.stabilise()
         reassigned: dict[KeyGroup, str] = {}
         for group in orphaned:
-            self._group_owner.pop(group, None)
+            self._unregister_group(group)
             new_owner = self._ring.owner_of(self._ring.hash_function.hash_key(group.virtual_key))
             parent_name = surviving_parent.get(group)
             transfer = AcceptKeyGroup(
@@ -671,7 +778,7 @@ class ClashSystem:
             else:
                 self._servers[new_owner].assign_root_group(group)
             self._messages.add(MessageCategory.SPLIT, 2)
-            self._group_owner[group] = new_owner
+            self._register_group(group, new_owner)
             reassigned[group] = new_owner
         return reassigned
 

@@ -95,6 +95,18 @@ class ClashServer:
         self._merge_policy = merge_policy or CoolestGroupMergePolicy()
         self.splits_performed = 0
         self.merges_performed = 0
+        # Per-interval load cache.  The load check asks for total_load() /
+        # group loads many times between mutations (overload probes, split
+        # selection, report building); the cache makes every repeat read a
+        # dict hit and is recomputed — in exactly the order the uncached code
+        # used, so the floats are bit-identical — only after one of the three
+        # load inputs (rates/overrides, the table, the query store) changed.
+        self._rates_version = 0
+        self._loads_stamp = -1
+        self._loads_cache: dict[KeyGroup, GroupLoad] = {}
+        self._total_load_cache = 0.0
+        self._reports_stamp = -1
+        self._reports_cache: list[tuple[str, LoadReport]] = []
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -131,7 +143,7 @@ class ClashServer:
 
     def is_active(self) -> bool:
         """True if the server currently manages at least one key group."""
-        return bool(self._table.active_groups())
+        return self._table.has_active_groups()
 
     # ------------------------------------------------------------------ #
     # Load bookkeeping
@@ -142,6 +154,32 @@ class ClashServer:
         self._group_rates.clear()
         self._group_query_counts.clear()
         self._child_reports.clear()
+        self._rates_version += 1
+
+    def clear_child_reports(self) -> None:
+        """Drop the child load reports without touching the measured rates.
+
+        The incremental assignment path uses this where a full reassignment
+        used :meth:`reset_interval`: reports must not survive into the next
+        load check, but the (still exact) rates and query overrides do.
+        """
+        if self._child_reports:
+            self._child_reports.clear()
+
+    def discard_measurements(self, group: KeyGroup) -> None:
+        """Drop the interval rate and query override recorded for ``group``.
+
+        The incremental assignment path calls this at a period/iteration
+        boundary for groups this server no longer manages — exactly what a
+        full ``reset_interval`` would have wiped.  Without it, a stale query
+        override would be resurrected if the same group were re-activated
+        here by a later split or merge.
+        """
+        removed = self._group_rates.pop(group, None) is not None
+        if self._group_query_counts.pop(group, None) is not None:
+            removed = True
+        if removed:
+            self._rates_version += 1
 
     def set_group_rate(self, group: KeyGroup, rate: float) -> None:
         """Record the data rate observed for an active group this interval."""
@@ -150,6 +188,7 @@ class ClashServer:
         if group not in self._table or not self._table.entry(group).active:
             raise KeyError(f"{self._name} does not actively manage group {group}")
         self._group_rates[group] = rate
+        self._rates_version += 1
 
     def add_group_rate(self, group: KeyGroup, rate: float) -> None:
         """Accumulate additional data rate onto an active group."""
@@ -170,25 +209,42 @@ class ClashServer:
         if group not in self._table or not self._table.entry(group).active:
             raise KeyError(f"{self._name} does not actively manage group {group}")
         self._group_query_counts[group] = count
+        self._rates_version += 1
+
+    def _current_loads(self) -> dict[KeyGroup, GroupLoad]:
+        """The cached per-group loads, recomputed only after a mutation.
+
+        Internal callers iterate this dict directly and must not mutate it;
+        :meth:`group_loads` hands out a copy.
+        """
+        # The three inputs' counters are each monotonic, so their sum strictly
+        # increases on every mutation — one int comparison detects staleness.
+        stamp = self._rates_version + self._table.version + self._queries.version
+        if self._loads_stamp != stamp:
+            loads: dict[KeyGroup, GroupLoad] = {}
+            for group in self._table.active_groups():
+                rate = self._group_rates.get(group, 0.0)
+                if group in self._group_query_counts:
+                    query_count = self._group_query_counts[group]
+                else:
+                    query_count = self._queries.count_in_group(group)
+                load = self._load_model.load(rate, query_count)
+                loads[group] = GroupLoad(
+                    group=group, data_rate=rate, query_count=int(query_count), load=load
+                )
+            self._loads_cache = loads
+            self._total_load_cache = sum(entry.load for entry in loads.values())
+            self._loads_stamp = stamp
+        return self._loads_cache
 
     def group_loads(self) -> dict[KeyGroup, GroupLoad]:
         """Per-active-group load breakdown for the current interval."""
-        loads: dict[KeyGroup, GroupLoad] = {}
-        for group in self._table.active_groups():
-            rate = self._group_rates.get(group, 0.0)
-            if group in self._group_query_counts:
-                query_count = self._group_query_counts[group]
-            else:
-                query_count = self._queries.count_in_group(group)
-            load = self._load_model.load(rate, query_count)
-            loads[group] = GroupLoad(
-                group=group, data_rate=rate, query_count=int(query_count), load=load
-            )
-        return loads
+        return dict(self._current_loads())
 
     def total_load(self) -> float:
         """The server's total load in absolute units/sec."""
-        return sum(entry.load for entry in self.group_loads().values())
+        self._current_loads()
+        return self._total_load_cache
 
     def load_percent(self) -> float:
         """The server's total load as a percentage of its capacity."""
@@ -196,11 +252,13 @@ class ClashServer:
 
     def is_overloaded(self) -> bool:
         """True if the server's load exceeds the overload threshold."""
-        return self._load_model.is_overloaded(self.total_load())
+        self._current_loads()
+        return self._load_model.is_overloaded(self._total_load_cache)
 
     def is_underloaded(self) -> bool:
         """True if the server's load is below the underload threshold."""
-        return self._load_model.is_underloaded(self.total_load())
+        self._current_loads()
+        return self._load_model.is_underloaded(self._total_load_cache)
 
     # ------------------------------------------------------------------ #
     # Key-group assignment
@@ -286,7 +344,7 @@ class ClashServer:
 
     def choose_group_to_split(self) -> KeyGroup | None:
         """Pick the group to shed according to the split policy."""
-        loads = {group: info.load for group, info in self.group_loads().items()}
+        loads = {group: info.load for group, info in self._current_loads().items()}
         if not loads:
             return None
         return self._split_policy.select(loads, self._config.effective_max_depth)
@@ -331,7 +389,7 @@ class ClashServer:
 
     def choose_group_to_consolidate(self) -> KeyGroup | None:
         """Pick the cold leaf group to report to its parent (merge policy)."""
-        loads = {group: info.load for group, info in self.group_loads().items()}
+        loads = {group: info.load for group, info in self._current_loads().items()}
         if not loads:
             return None
         return self._merge_policy.select(
@@ -344,15 +402,28 @@ class ClashServer:
         These are the periodic leaf → parent messages that drive bottom-up
         consolidation.
         """
-        reports = []
-        loads = self.group_loads()
+        return [report for _parent, report in self.addressed_load_reports()]
+
+    def addressed_load_reports(self) -> list[tuple[str, LoadReport]]:
+        """``(parent server, report)`` pairs for every reportable leaf group.
+
+        The pairs are cached against the load stamp: while nothing changed
+        since the last check, the identical frozen report objects are
+        re-delivered without being rebuilt.
+        """
+        loads = self._current_loads()
+        if self._reports_stamp == self._loads_stamp:
+            return self._reports_cache
+        reports: list[tuple[str, LoadReport]] = []
         for group, info in loads.items():
-            entry = self._table.entry(group)
-            if entry.parent_id in (None, SELF_PARENT):
+            parent_id = self._table.entry(group).parent_id
+            if parent_id is None or parent_id == SELF_PARENT:
                 continue
             reports.append(
-                LoadReport(group=group, child_server=self._name, load=info.load)
+                (parent_id, LoadReport(group=group, child_server=self._name, load=info.load))
             )
+        self._reports_cache = reports
+        self._reports_stamp = self._loads_stamp
         return reports
 
     def receive_load_report(self, report: LoadReport) -> None:
@@ -373,8 +444,8 @@ class ClashServer:
         at the next check, producing a split/merge oscillation.
         """
         candidates: list[KeyGroup] = []
-        local_loads = self.group_loads()
-        total_load = sum(info.load for info in local_loads.values())
+        local_loads = self._current_loads()
+        total_load = self._total_load_cache
         for entry in self._table.entries():
             if entry.active:
                 continue

@@ -91,6 +91,21 @@ class ServerTable:
             raise ValueError(f"key_bits must be positive, got {key_bits}")
         self._key_bits = key_bits
         self._entries: dict[KeyGroup, ServerTableEntry] = {}
+        #: Monotonic counter bumped by every table mutation.  The owning
+        #: server keys its per-group load cache on it (a plain attribute, not
+        #: a property — the staleness probe is extremely hot).  Flipping an
+        #: entry's ``active`` flag outside the table's own mutators would
+        #: bypass the counter, which is why all active-ness changes go
+        #: through :meth:`record_split` / :meth:`record_consolidation`.
+        self.version = 0
+        self._active_cache: list[KeyGroup] | None = None
+        self._sorted_cache: list[KeyGroup] | None = None
+        self._active_count = 0
+
+    def _invalidate(self) -> None:
+        self.version += 1
+        self._active_cache = None
+        self._sorted_cache = None
 
     # ------------------------------------------------------------------ #
     # Basic access
@@ -108,8 +123,15 @@ class ServerTable:
         return group in self._entries
 
     def entries(self) -> list[ServerTableEntry]:
-        """All rows, sorted by virtual key then depth (stable for reporting)."""
-        return [self._entries[group] for group in sorted(self._entries)]
+        """All rows, sorted by virtual key then depth (stable for reporting).
+
+        The sort order is maintained across reads: it only needs recomputing
+        after a row is inserted or removed.
+        """
+        if self._sorted_cache is None:
+            self._sorted_cache = sorted(self._entries)
+        entries = self._entries
+        return [entries[group] for group in self._sorted_cache]
 
     def entry(self, group: KeyGroup) -> ServerTableEntry:
         """The row for ``group`` (raises :class:`KeyError` if absent)."""
@@ -118,8 +140,21 @@ class ServerTable:
         return self._entries[group]
 
     def active_groups(self) -> list[KeyGroup]:
-        """The groups this server currently manages (the leaves)."""
-        return sorted(group for group, entry in self._entries.items() if entry.active)
+        """The groups this server currently manages (the leaves).
+
+        The sorted list is maintained incrementally: it is rebuilt only after
+        a table mutation, so the very hot load-check path (which reads it many
+        times between mutations) pays the sort once.
+        """
+        if self._active_cache is None:
+            self._active_cache = sorted(
+                group for group, entry in self._entries.items() if entry.active
+            )
+        return list(self._active_cache)
+
+    def has_active_groups(self) -> bool:
+        """True if at least one entry is active (O(1))."""
+        return self._active_count > 0
 
     def inactive_groups(self) -> list[KeyGroup]:
         """Previously split groups retained as interior bookkeeping rows."""
@@ -152,12 +187,19 @@ class ServerTable:
                         f"active group {group} overlaps existing active group {existing_group}"
                     )
         self._entries[group] = entry
+        if entry.active:
+            self._active_count += 1
+        self._invalidate()
 
     def remove_entry(self, group: KeyGroup) -> ServerTableEntry:
         """Remove and return the row for ``group``."""
         if group not in self._entries:
             raise KeyError(f"no table entry for group {group}")
-        return self._entries.pop(group)
+        removed = self._entries.pop(group)
+        if removed.active:
+            self._active_count -= 1
+        self._invalidate()
+        return removed
 
     def record_split(self, group: KeyGroup, right_child_server: str) -> tuple[KeyGroup, KeyGroup]:
         """Record that ``group`` was split and its right child shipped away.
@@ -171,6 +213,8 @@ class ServerTable:
             raise ValueError(f"cannot split inactive group {group}")
         left, right = group.split()
         entry.active = False
+        self._active_count -= 1
+        self._invalidate()
         entry.right_child_id = right_child_server
         self.add_entry(ServerTableEntry(group=left, parent_id=SELF_PARENT))
         return left, right
@@ -197,6 +241,8 @@ class ServerTable:
             )
         self.remove_entry(left)
         entry.active = True
+        self._active_count += 1
+        self._invalidate()
         entry.right_child_id = None
         return left
 

@@ -31,6 +31,10 @@ __all__ = ["ChordRing", "LookupResult"]
 
 DEFAULT_SUCCESSOR_LIST_LENGTH = 4
 
+LOOKUP_MEMO_LIMIT = 1 << 16
+"""Entries kept in the lookup memo before it is reset (eviction is safe:
+a fresh walk returns the identical result a cached entry would)."""
+
 
 @dataclass(frozen=True)
 class LookupResult:
@@ -83,6 +87,13 @@ class ChordRing:
         self._nodes_by_id: dict[int, ChordNode] = {}
         self._sorted_ids: list[int] = []
         self._stale = False
+        # Lookup memo: routing is a pure function of the ring membership, so
+        # a repeated lookup returns the identical (owner, hops, path) result
+        # without re-walking the fingers — the hop charges replayed to the
+        # caller are exactly those of a fresh walk.  Any membership change
+        # clears it, and it is size-capped so streams of one-off distinct
+        # keys cannot grow it without bound.
+        self._lookup_memo: dict[tuple, LookupResult] = {}
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -146,6 +157,7 @@ class ChordRing:
         self._nodes_by_name[name] = node
         self._nodes_by_id[node_id] = node
         self._stale = True
+        self._lookup_memo.clear()
         return node
 
     def add_nodes(self, names: list[str]) -> list[ChordNode]:
@@ -161,6 +173,7 @@ class ChordRing:
             raise KeyError(f"node {name!r} is not in the ring")
         del self._nodes_by_id[node.node_id]
         self._stale = True
+        self._lookup_memo.clear()
 
     @classmethod
     def build(
@@ -210,6 +223,7 @@ class ChordRing:
         stabilisation protocol; the simulator rebuilds it deterministically,
         which yields the same steady-state routing structure.
         """
+        self._lookup_memo.clear()
         if not self._nodes_by_name:
             self._sorted_ids = []
             self._stale = False
@@ -274,6 +288,10 @@ class ChordRing:
             A :class:`LookupResult` with the owner and the forwarding path.
         """
         self._ensure_fresh()
+        memo_key = (key, start)
+        cached = self._lookup_memo.get(memo_key)
+        if cached is not None:
+            return cached
         self._space.check_member("key", key)
         if start is None:
             start = self._nodes_by_id[self._sorted_ids[0]].name
@@ -296,12 +314,30 @@ class ChordRing:
                     f"lookup for key {key} did not converge after {hops} hops; "
                     "the ring routing state is inconsistent"
                 )
-        return LookupResult(key=key, owner=current.name, hops=hops, path=tuple(path))
+        result = LookupResult(key=key, owner=current.name, hops=hops, path=tuple(path))
+        self._memoize(memo_key, result)
+        return result
 
     def lookup_key(self, key: IdentifierKey, start: str | None = None) -> LookupResult:
-        """Hash an identifier key with ``f()`` and route the resulting hash key."""
+        """Hash an identifier key with ``f()`` and route the resulting hash key.
+
+        Memoized per identifier key: the hash and the routing walk both
+        depend only on the key and the ring membership.
+        """
+        self._ensure_fresh()
+        memo_key = (key.value, key.width, start)
+        cached = self._lookup_memo.get(memo_key)
+        if cached is not None:
+            return cached
         hash_key = self._hash.hash_key(key)
-        return self.find_successor(hash_key, start=start)
+        result = self.find_successor(hash_key, start=start)
+        self._memoize(memo_key, result)
+        return result
+
+    def _memoize(self, memo_key: tuple, result: LookupResult) -> None:
+        if len(self._lookup_memo) >= LOOKUP_MEMO_LIMIT:
+            self._lookup_memo.clear()
+        self._lookup_memo[memo_key] = result
 
     def expected_hops(self) -> float:
         """The textbook O(log S) expectation: ``0.5 * log2(S)`` hops per lookup."""

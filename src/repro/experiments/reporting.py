@@ -26,6 +26,7 @@ __all__ = [
     "render_figure3",
     "render_figure4",
     "render_figure5",
+    "render_profile",
 ]
 
 
@@ -147,6 +148,32 @@ def render_figure4(result: "Figure4Result") -> str:
     ]
     lines.append(format_table(depth_headers, depth_rows))
     return "\n".join(lines)
+
+
+def render_profile(stats, top: int = 25) -> str:
+    """Render a ``pstats.Stats`` object as a top-N cumulative-time table.
+
+    Used by the CLI's ``--profile`` flag so perf PRs can show a before/after
+    profile without leaving the text-report toolchain.
+    """
+    rows = []
+    for (filename, lineno, function), (
+        _primitive_calls,
+        call_count,
+        total_time,
+        cumulative_time,
+        _callers,
+    ) in stats.stats.items():
+        location = f"{filename}:{lineno}({function})" if lineno else function
+        rows.append((cumulative_time, total_time, call_count, location))
+    rows.sort(key=lambda row: (-row[0], row[3]))
+    table_rows = [
+        [call_count, f"{total_time:.4f}", f"{cumulative_time:.4f}", location]
+        for cumulative_time, total_time, call_count, location in rows[:top]
+    ]
+    return format_table(
+        ["calls", "tottime (s)", "cumtime (s)", "function"], table_rows
+    )
 
 
 def render_figure5(result: "Figure5Result") -> str:

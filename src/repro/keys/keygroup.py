@@ -119,7 +119,13 @@ class KeyGroup:
     def __lt__(self, other: "KeyGroup") -> bool:
         if not isinstance(other, KeyGroup):
             return NotImplemented
-        return (self.virtual_key.value, self.depth) < (other.virtual_key.value, other.depth)
+        # Compare on (virtual key value, depth) without materialising the
+        # IdentifierKey objects — ordering is hot in the maintained sorted
+        # views of server tables.
+        return (self.prefix << (self.width - self.depth), self.depth) < (
+            other.prefix << (other.width - other.depth),
+            other.depth,
+        )
 
     # ------------------------------------------------------------------ #
     # Membership and prefix relationships

@@ -12,11 +12,34 @@ while keeping a 6-hour, 1000-server run tractable (see DESIGN.md §2).
 
 from __future__ import annotations
 
+import weakref
+from typing import Iterable
+
 from repro.keys.keygroup import KeyGroup
 from repro.util.validation import check_non_negative
 from repro.workload.distributions import WorkloadSpec
 
-__all__ = ["LoadMeasure"]
+__all__ = ["LoadMeasure", "shared_prefix_cache"]
+
+_PREFIX_CACHES: "weakref.WeakKeyDictionary[WorkloadSpec, dict[tuple[int, int], float]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def shared_prefix_cache(spec: WorkloadSpec) -> dict[tuple[int, int], float]:
+    """The (prefix, depth) → probability cache shared by all measures of ``spec``.
+
+    A workload's prefix probabilities depend only on the spec, so a
+    fixed-depth baseline and a CLASH run over the same workload (or several
+    measures across scenario phases) warm one cache instead of one each.  The
+    registry is weakly keyed: the cache lives exactly as long as an equal
+    spec does.
+    """
+    cache = _PREFIX_CACHES.get(spec)
+    if cache is None:
+        cache = {}
+        _PREFIX_CACHES[spec] = cache
+    return cache
 
 
 class LoadMeasure:
@@ -39,8 +62,9 @@ class LoadMeasure:
         # (prefix, depth) → probability.  Period assignment asks for the same
         # expectations every load check of a phase; the workload is immutable,
         # so the answers never change and the weight-slice sums dominate the
-        # assignment loop without this cache.
-        self._prefix_probability_cache: dict[tuple[int, int], float] = {}
+        # assignment loop without this cache.  The cache is shared per spec —
+        # see shared_prefix_cache().
+        self._prefix_probability_cache = shared_prefix_cache(spec)
 
     @property
     def spec(self) -> WorkloadSpec:
@@ -73,6 +97,29 @@ class LoadMeasure:
     def group_queries(self, group: KeyGroup) -> float:
         """Expected number of stored queries whose keys fall in ``group``."""
         return self._total_queries * self.group_probability(group)
+
+    def assignment(self, group: KeyGroup) -> tuple[float, float]:
+        """``(expected rate, expected queries)`` with one probability lookup."""
+        probability = self.group_probability(group)
+        return self._total_rate * probability, self._total_queries * probability
+
+    def assign_rates(
+        self, groups: Iterable[KeyGroup]
+    ) -> dict[KeyGroup, tuple[float, float]]:
+        """Bulk assignment: ``{group: (rate, queries)}`` in a single pass.
+
+        One probability fetch per group (against the shared prefix cache)
+        replaces the two separate ``group_rate``/``group_queries`` lookups the
+        per-group API costs.
+        """
+        group_probability = self.group_probability
+        total_rate = self._total_rate
+        total_queries = self._total_queries
+        assignments: dict[KeyGroup, tuple[float, float]] = {}
+        for group in groups:
+            probability = group_probability(group)
+            assignments[group] = (total_rate * probability, total_queries * probability)
+        return assignments
 
     def rate_by_prefix(self, depth: int) -> list[float]:
         """Expected rate for every prefix of the given depth (Figure 3 helper)."""

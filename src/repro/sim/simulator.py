@@ -257,6 +257,16 @@ class FlowSimulator:
         self._recorder = MetricsRecorder()
         self._total_splits = 0
         self._total_merges = 0
+        # Incremental load-assignment state: the measure the current
+        # assignment was computed from, and the groups whose assignment has
+        # been perturbed (by splits, merges, handoffs or churn) since then.
+        # ``_force_full_assignment`` disables the incremental path — it exists
+        # for the equivalence tests, which assert that dirty-group updates
+        # reproduce a from-scratch assignment exactly.
+        self._assigned_measure: LoadMeasure | None = None
+        self._pending_dirty: set = set()
+        self._pending_retired: list = []
+        self._force_full_assignment = False
 
     @property
     def system(self) -> ClashSystem:
@@ -300,14 +310,72 @@ class FlowSimulator:
         return measure
 
     def _assign_loads(self, measure: LoadMeasure) -> None:
-        """Give every active group its expected rate and query count."""
+        """Give every active group its expected rate and query count (full pass)."""
         for server in self._system.servers().values():
             server.reset_interval()
-        for group, owner in self._system.active_groups().items():
+        owners = self._system.active_groups()
+        assignments = measure.assign_rates(owners)
+        use_queries = self._params.query_client_count > 0
+        for group, owner in owners.items():
             server = self._system.server(owner)
-            server.set_group_rate(group, measure.group_rate(group))
-            if self._params.query_client_count:
-                server.set_group_query_count(group, measure.group_queries(group))
+            rate, queries = assignments[group]
+            server.set_group_rate(group, rate)
+            if use_queries:
+                server.set_group_query_count(group, queries)
+
+    def _apply_dirty_assignments(
+        self, measure: LoadMeasure, dirty: set, retired: list
+    ) -> None:
+        """Refresh only the groups whose assignment was perturbed.
+
+        Every other active group still carries the exact expected values the
+        last full pass (or a previous dirty refresh) wrote — the measure is
+        unchanged, so rewriting them would store identical floats.  Two
+        resets mirror what ``reset_interval`` did on the full path: child
+        load reports are cleared everywhere, and measurements for retired
+        ``(group, former owner)`` pairs are discarded (a stale query override
+        would otherwise be resurrected if the group re-activates there).
+        """
+        self._system.clear_all_child_reports()
+        for group, former_owner in retired:
+            try:
+                server = self._system.server(former_owner)
+            except KeyError:  # the former owner has since failed
+                continue
+            server.discard_measurements(group)
+        use_queries = self._params.query_client_count > 0
+        for group in sorted(dirty):
+            owner = self._system.find_owner(group)
+            if owner is None:
+                # Split away or merged; only its active descendants/ancestor
+                # (also in the dirty set) need fresh values.
+                continue
+            server = self._system.server(owner)
+            rate, queries = measure.assignment(group)
+            server.set_group_rate(group, rate)
+            if use_queries:
+                server.set_group_query_count(group, queries)
+
+    def _sync_assignments(self, measure: LoadMeasure) -> None:
+        """Bring every server's measured loads in line with ``measure``.
+
+        A full assignment runs only when the workload changed (a new measure)
+        or when the incremental path is disabled; otherwise only the groups
+        touched since the last synchronisation are refreshed.
+        """
+        dirty = self._pending_dirty
+        self._pending_dirty = set()
+        dirty |= self._system.drain_touched_groups()
+        retired = self._pending_retired
+        self._pending_retired = []
+        retired.extend(self._system.drain_retired_assignments())
+        if measure is not self._assigned_measure or self._force_full_assignment:
+            # reset_interval inside the full pass discards every measurement,
+            # so the retired log is consumed by dropping it.
+            self._assign_loads(measure)
+            self._assigned_measure = measure
+            return
+        self._apply_dirty_assignments(measure, dirty, retired)
 
     def _server_load_percents(self) -> list[float]:
         """Load (as % of capacity) of every server that manages a group."""
@@ -329,12 +397,17 @@ class FlowSimulator:
         if phase.link_latency is not None:
             # No-op on transports that don't model time (inline, batching).
             self._transport.set_latency_model(ConstantLatency(phase.link_latency))
-        for _ in range(phase.fail_servers):
+        if phase.fail_servers:
+            # Sort once; removing each victim keeps the list identical to a
+            # fresh sorted() of the surviving names, so the RNG draws match
+            # the per-iteration re-sort this replaces.
             names = sorted(self._system.server_names())
-            if len(names) <= 1:
-                break
-            victim = self._churn_rng.choice(names)
-            self._system.handle_server_failure(victim)
+            for _ in range(phase.fail_servers):
+                if len(names) <= 1:
+                    break
+                victim = self._churn_rng.choice(names)
+                self._system.handle_server_failure(victim)
+                names.remove(victim)
 
     # ------------------------------------------------------------------ #
     # Protocol reaction within one period
@@ -346,17 +419,19 @@ class FlowSimulator:
         Returns ``(splits, merges, redirected_sources, migrated_queries)``.
         """
         if self._fixed_depth is not None:
-            self._assign_loads(measure)
+            self._sync_assignments(measure)
             return 0, 0, 0.0, 0.0
         splits = 0
         merges = 0
         redirected = 0.0
         migrated_queries = 0.0
         for _iteration in range(self._params.max_balance_iterations):
-            self._assign_loads(measure)
+            self._sync_assignments(measure)
             report = self._system.run_load_check(
                 max_splits_per_server=self._params.max_splits_per_server_per_iteration
             )
+            self._pending_dirty |= report.touched_groups
+            self._pending_retired.extend(report.retired_assignments)
             if report.split_count == 0 and report.merge_count == 0:
                 break
             splits += report.split_count
@@ -377,7 +452,7 @@ class FlowSimulator:
                 migrated_queries += moved
                 self._system.messages.add(MessageCategory.STATE_TRANSFER, moved)
         # Leave the final, post-reaction load assignment in place for metrics.
-        self._assign_loads(measure)
+        self._sync_assignments(measure)
         return splits, merges, redirected, migrated_queries
 
     # ------------------------------------------------------------------ #

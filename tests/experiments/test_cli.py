@@ -54,6 +54,42 @@ class TestMain:
         assert (tmp_path / "figure3.txt").exists()
         assert capsys.readouterr().out == ""
 
+    def test_profile_writes_stats_and_prints_table(self, tmp_path: pathlib.Path, capsys):
+        exit_code = main(
+            [
+                "fig1",
+                "--output-dir",
+                str(tmp_path),
+                "--quiet",
+                "--profile",
+                "--profile-top",
+                "5",
+            ]
+        )
+        assert exit_code == 0
+        stats_path = tmp_path / "profile.pstats"
+        assert stats_path.exists() and stats_path.stat().st_size > 0
+        # The profile table prints even under --quiet: it is what the flag
+        # was asked for.
+        printed = capsys.readouterr().out
+        assert "Profile — top 5 functions by cumulative time" in printed
+        assert "cumtime (s)" in printed
+
+    def test_profile_is_written_even_when_generation_fails(
+        self, tmp_path: pathlib.Path, monkeypatch, capsys
+    ):
+        import repro.cli as cli_module
+
+        def explode(args):
+            raise RuntimeError("boom mid-figure")
+
+        monkeypatch.setitem(cli_module._COMMANDS, "fig1", explode)
+        with pytest.raises(RuntimeError, match="boom mid-figure"):
+            main(["fig1", "--output-dir", str(tmp_path), "--quiet", "--profile"])
+        # The interrupted run still yields its profile — that is the run
+        # most worth diagnosing.
+        assert (tmp_path / "profile.pstats").exists()
+
     def test_fig4_writes_table_and_csv(self, tmp_path: pathlib.Path):
         exit_code = main(
             [
