@@ -23,6 +23,11 @@ import pathlib
 import sys
 from typing import Callable, Sequence
 
+from repro.experiments.churn import (
+    DEFAULT_CHURN_RATES,
+    render_churn_sweep,
+    run_churn_sweep,
+)
 from repro.experiments.fig1_fig2 import run_figure1_figure2
 from repro.experiments.fig3 import run_figure3
 from repro.experiments.fig4 import run_figure4
@@ -47,8 +52,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "figure",
-        choices=["fig1", "fig3", "fig4", "fig5", "all"],
-        help="which figure to regenerate ('fig1' covers Figures 1 and 2)",
+        choices=["fig1", "fig3", "fig4", "fig5", "churn", "all"],
+        help="which figure to regenerate ('fig1' covers Figures 1 and 2; "
+        "'churn' is the beyond-the-paper membership-churn sweep)",
     )
     parser.add_argument(
         "--output-dir",
@@ -97,6 +103,22 @@ def build_parser() -> argparse.ArgumentParser:
         "(ignored by the other transports; default: 0)",
     )
     parser.add_argument(
+        "--join-rate",
+        type=float,
+        default=None,
+        help="Poisson server-join rate in events/sec applied to every "
+        "scenario phase (default: 0 = no churn; for the 'churn' command an "
+        "explicit value pins a single sweep point)",
+    )
+    parser.add_argument(
+        "--fail-rate",
+        type=float,
+        default=None,
+        help="Poisson server-failure rate in events/sec applied to every "
+        "scenario phase (default: 0 = no churn; for the 'churn' command an "
+        "explicit value pins a single sweep point)",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="only write files, do not print the reports to stdout",
@@ -129,6 +151,8 @@ def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
         seed=args.seed,
         transport=args.transport,
         link_latency=args.link_latency,
+        join_rate=args.join_rate if args.join_rate is not None else 0.0,
+        fail_rate=args.fail_rate if args.fail_rate is not None else 0.0,
     )
 
 
@@ -185,11 +209,24 @@ def _run_fig5(args: argparse.Namespace) -> list[pathlib.Path]:
     return [_write(args.output_dir, "figure5.txt", render_figure5(result), args.quiet)]
 
 
+def _run_churn(args: argparse.Namespace) -> list[pathlib.Path]:
+    scale = _scale_from_args(args)
+    # Explicit --join-rate/--fail-rate (including explicit zeros) pin a
+    # single sweep point; otherwise the default rate ladder is swept.
+    if args.join_rate is not None or args.fail_rate is not None:
+        rates = ((scale.join_rate, scale.fail_rate),)
+    else:
+        rates = DEFAULT_CHURN_RATES
+    result = run_churn_sweep(scale, rates=rates)
+    return [_write(args.output_dir, "churn.txt", render_churn_sweep(result), args.quiet)]
+
+
 _COMMANDS: dict[str, Callable[[argparse.Namespace], list[pathlib.Path]]] = {
     "fig1": _run_fig1,
     "fig3": _run_fig3,
     "fig4": _run_fig4,
     "fig5": _run_fig5,
+    "churn": _run_churn,
 }
 
 

@@ -127,16 +127,22 @@ class AcceptKeyGroup:
 
     The receiving server is required to accept (Section 5): an overloaded node
     must always be able to shed load; the child may in turn split further.
+    Membership handoffs (server join / failure recovery) reuse the same
+    message to move whole groups between peers.
 
     Attributes:
-        group: The key group being transferred (always a right child).
-        parent_server: Name of the splitting (parent) server.
+        group: The key group being transferred (a right child when the
+            transfer comes from a split; any active group during a membership
+            handoff).
+        parent_server: Name of the server managing the parent group, or
+            ``None`` when the group is (re)installed as a root entry — the
+            paper's ParentID = −1 — during a membership handoff.
         migrated_queries: Number of stored query objects migrated with the
             group (counted as state-transfer overhead).
     """
 
     group: KeyGroup
-    parent_server: str
+    parent_server: str | None
     migrated_queries: int = 0
 
 

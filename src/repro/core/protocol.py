@@ -39,6 +39,7 @@ from repro.core.messages import (
 )
 from repro.core.policy import MergePolicy, SplitPolicy
 from repro.core.server import ClashServer
+from repro.core.server_table import SELF_PARENT
 from repro.dht.hashspace import HashSpace
 from repro.dht.ring import ChordRing
 from repro.keys.identifier import IdentifierKey
@@ -165,6 +166,8 @@ class ClashSystem:
         if len(set(server_names)) != len(server_names):
             raise ValueError("server names must be unique")
         self._config = config
+        self._split_policy_factory = split_policy_factory
+        self._merge_policy_factory = merge_policy_factory
         self._space = HashSpace(bits=config.hash_bits)
         self._ring = ChordRing(space=self._space)
         used_ids: set[int] = set()
@@ -180,18 +183,7 @@ class ClashSystem:
         self._ring.stabilise()
         self._servers: dict[str, ClashServer] = {}
         for name in server_names:
-            split_policy: SplitPolicy | None = (
-                split_policy_factory() if split_policy_factory else None
-            )
-            merge_policy: MergePolicy | None = (
-                merge_policy_factory() if merge_policy_factory else None
-            )
-            self._servers[name] = ClashServer(
-                name=name,
-                config=config,
-                split_policy=split_policy,
-                merge_policy=merge_policy,
-            )
+            self._servers[name] = self._make_server(name)
         self._group_owner: dict[KeyGroup, str] = {}
         # Maintained indexes over the ownership registry.  They are mutated
         # exclusively through _register_group/_unregister_group so that
@@ -208,6 +200,21 @@ class ClashSystem:
         self._transport.set_resolver(self._ring.lookup_key)
         for name, server in self._servers.items():
             self._transport.bind(name, self._make_endpoint(server))
+
+    def _make_server(self, name: str) -> ClashServer:
+        """Construct one server with this deployment's policy factories."""
+        split_policy: SplitPolicy | None = (
+            self._split_policy_factory() if self._split_policy_factory else None
+        )
+        merge_policy: MergePolicy | None = (
+            self._merge_policy_factory() if self._merge_policy_factory else None
+        )
+        return ClashServer(
+            name=name,
+            config=self._config,
+            split_policy=split_policy,
+            merge_policy=merge_policy,
+        )
 
     def _make_endpoint(self, server: ClashServer):
         """The transport-facing handler for one server.
@@ -593,7 +600,9 @@ class ClashSystem:
         message).
         """
         delivered = 0
-        for server in self._servers.values():
+        # Snapshot: an event-transport churn event may alter membership while
+        # a report is in flight.
+        for server in list(self._servers.values()):
             # The child knows its parent server directly: it is the ParentID
             # recorded when the group was transferred.
             for parent_name, report in server.addressed_load_reports():
@@ -643,10 +652,15 @@ class ClashSystem:
                 # The child has split the group further since reporting; skip.
                 continue
             returned: list = release.reply
-            if left not in server.table or not server.table.entry(left).active:
-                # The local left child changed under us; undo is not needed
-                # because release_group only removed the child's entry — put
-                # the right child back where it was.
+            if (
+                server_name not in self._servers
+                or left not in server.table
+                or not server.table.entry(left).active
+            ):
+                # The consolidating server failed mid-release (its table
+                # object is stale) or the local left child changed under us;
+                # undo is not needed because release_group only removed the
+                # child's entry — put the right child back where it was.
                 self._transport.request(
                     Envelope(
                         source=server_name,
@@ -688,9 +702,20 @@ class ClashSystem:
         exchange load reports with parents and consolidate cold sibling pairs.
         """
         report = _LoadCheckReport()
-        for name, server in self._servers.items():
+        # Both passes iterate a snapshot and re-check membership: a churn
+        # event delivered by the event transport mid-exchange may add or
+        # remove servers while the pass is running.
+        for name, server in list(self._servers.items()):
+            if name not in self._servers:
+                continue
             attempts = 0
-            while server.is_overloaded() and attempts < max_splits_per_server:
+            # Membership is re-checked every iteration: the server being
+            # split can itself fail while its transfer is in flight.
+            while (
+                name in self._servers
+                and server.is_overloaded()
+                and attempts < max_splits_per_server
+            ):
                 outcome = self.split_server(name)
                 attempts += 1
                 if outcome is None:
@@ -699,8 +724,8 @@ class ClashSystem:
                 if not outcome.shed:
                     break
         self.exchange_load_reports()
-        for name, server in self._servers.items():
-            if not server.is_active():
+        for name, server in list(self._servers.items()):
+            if name not in self._servers or not server.is_active():
                 continue
             # Consolidation only runs on servers that are themselves
             # under-loaded (the paper's "under conditions of under-load");
@@ -712,8 +737,112 @@ class ClashSystem:
         return report
 
     # ------------------------------------------------------------------ #
-    # Server failure handling
+    # Membership changes (join handoff, failure recovery)
     # ------------------------------------------------------------------ #
+
+    def handle_server_join(
+        self, joiner: str, node_id: int | None = None
+    ) -> dict[KeyGroup, str]:
+        """Admit a new server and hand over the key groups it now owns.
+
+        The paper delegates membership to the underlying DHT; this implements
+        the CLASH-level consequence of a Chord join.  The joiner is bound to
+        the transport and inserted into the ring (``add_node`` +
+        ``stabilise``), after which the keys between its predecessor and its
+        own identifier hash to it.  Every *active* key group whose virtual key
+        now maps to the joiner is handed over: the current owner releases the
+        group (``RELEASE_KEYGROUP``) and transfers responsibility — stored
+        queries included — with an ``ACCEPT_KEYGROUP`` envelope, exactly the
+        message a split would have used.  Consolidation linkage survives the
+        move for right children: the transferred entry keeps its parent
+        server (a local ``"self"`` parent resolves to the former owner's
+        name) and the parent entry's ``RightChildID`` is repointed at the
+        joiner.  A moved *left* child restarts as a root entry instead —
+        the merge protocol needs the left child local to the parent-entry
+        holder, so its linkage cannot survive (failure recovery makes the
+        same call) — and root entries stay roots.
+
+        Args:
+            joiner: Name of the joining server (must be new).
+            node_id: Explicit ring identifier; defaults to hashing the name,
+                matching Chord's practice.
+
+        Returns:
+            A mapping from each handed-off group to its former owner.
+        """
+        check_type("joiner", joiner, str)
+        if joiner in self._servers:
+            raise ValueError(f"server {joiner!r} is already part of the deployment")
+        server = self._make_server(joiner)
+        self._ring.add_node(joiner, node_id=node_id)
+        self._ring.stabilise()
+        self._servers[joiner] = server
+        self._transport.bind(joiner, self._make_endpoint(server))
+        # Ring membership changed: cached DHT routes are stale.
+        self._transport.invalidate_routes()
+        hash_function = self._ring.hash_function
+        moving = [
+            (group, owner)
+            for group, owner in sorted(self._group_owner.items())
+            if self._ring.owner_of(hash_function.hash_key(group.virtual_key)) == joiner
+            and owner != joiner
+        ]
+        handed_off: dict[KeyGroup, str] = {}
+        for group, former in moving:
+            former_server = self._servers[former]
+            parent_id = former_server.table.entry(group).parent_id
+            # Consolidation linkage only survives for *right* children: the
+            # merge protocol requires the left child to be local to the
+            # parent-entry holder, so a moved left child restarts as a root
+            # on the joiner (as failure recovery does) instead of addressing
+            # load reports no parent can ever act on.  For right children a
+            # "self" parent resolves to the former owner's name; roots stay
+            # roots (ParentID = −1).
+            is_right_child = group.depth > 0 and group == group.parent().split()[1]
+            if parent_id is None or not is_right_child:
+                parent_name = None
+            else:
+                parent_name = former if parent_id == SELF_PARENT else parent_id
+            release = self._transport.request(
+                Envelope(
+                    source=joiner,
+                    destination=former,
+                    payload=ReleaseKeyGroup(group=group, child_server=former),
+                    category=MessageCategory.MERGE,
+                )
+            )
+            if release.reply is None:
+                # The owner refused the release (the group changed under us
+                # mid-handoff); leave ownership where it is.
+                continue
+            queries: list = release.reply
+            self._transport.request(
+                Envelope(
+                    source=former,
+                    destination=joiner,
+                    payload=AcceptKeyGroup(
+                        group=group,
+                        parent_server=parent_name,
+                        migrated_queries=len(queries),
+                    ),
+                    category=MessageCategory.SPLIT,
+                    attachment=queries,
+                )
+            )
+            self._messages.add(MessageCategory.MERGE, 2)  # release request + reply
+            self._messages.add(MessageCategory.SPLIT, 2)  # transfer + ack
+            self._messages.add(MessageCategory.STATE_TRANSFER, len(queries))
+            if parent_name is not None and parent_name in self._servers:
+                parent_table = self._servers[parent_name].table
+                parent_group = group.parent()
+                if parent_group in parent_table:
+                    entry = parent_table.entry(parent_group)
+                    if not entry.active and entry.right_child_id == former:
+                        entry.right_child_id = joiner
+            self._unregister_group(group)
+            self._register_group(group, joiner)
+            handed_off[group] = former
+        return handed_off
 
     def handle_server_failure(self, failed: str) -> dict[KeyGroup, str]:
         """Recover from the abrupt loss of a server.

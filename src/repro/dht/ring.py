@@ -288,15 +288,17 @@ class ChordRing:
             A :class:`LookupResult` with the owner and the forwarding path.
         """
         self._ensure_fresh()
+        # Validation must precede the memo probe: a cache hit and a miss have
+        # to agree on whether the arguments are acceptable at all.
+        self._space.check_member("key", key)
+        if start is not None and start not in self._nodes_by_name:
+            raise KeyError(f"start node {start!r} is not in the ring")
         memo_key = (key, start)
         cached = self._lookup_memo.get(memo_key)
         if cached is not None:
             return cached
-        self._space.check_member("key", key)
         if start is None:
             start = self._nodes_by_id[self._sorted_ids[0]].name
-        if start not in self._nodes_by_name:
-            raise KeyError(f"start node {start!r} is not in the ring")
         current = self._nodes_by_name[start]
         path = [current.name]
         hops = 0
@@ -325,6 +327,10 @@ class ChordRing:
         depend only on the key and the ring membership.
         """
         self._ensure_fresh()
+        # As in find_successor: reject a bad start before the memo probe so a
+        # cache hit cannot silently succeed where a miss would raise.
+        if start is not None and start not in self._nodes_by_name:
+            raise KeyError(f"start node {start!r} is not in the ring")
         memo_key = (key.value, key.width, start)
         cached = self._lookup_memo.get(memo_key)
         if cached is not None:

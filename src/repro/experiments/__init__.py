@@ -7,6 +7,8 @@ One module per figure:
   count and depth variation for CLASH vs the fixed-depth DHT baselines.
 * :mod:`~repro.experiments.fig5` — CLASH signalling overhead for different
   virtual-stream lengths, with and without the 50,000 query clients.
+* :mod:`~repro.experiments.churn` — beyond the paper: Poisson membership
+  churn swept against peak load and lookup depth.
 
 Each driver returns a structured result object and can render it as the
 text tables/series recorded in EXPERIMENTS.md.  The drivers accept an
@@ -15,6 +17,11 @@ the fast scaled-down configuration used by the benchmark suite and the full
 paper-scale configuration.
 """
 
+from repro.experiments.churn import (
+    ChurnSweepResult,
+    render_churn_sweep,
+    run_churn_sweep,
+)
 from repro.experiments.fig3 import Figure3Result, run_figure3
 from repro.experiments.fig4 import Figure4Result, run_figure4
 from repro.experiments.fig5 import Figure5Result, run_figure5
@@ -30,6 +37,9 @@ from repro.experiments.reporting import (
 __all__ = [
     "ExperimentScale",
     "scaled_setup",
+    "ChurnSweepResult",
+    "run_churn_sweep",
+    "render_churn_sweep",
     "Figure3Result",
     "run_figure3",
     "Figure4Result",

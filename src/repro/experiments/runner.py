@@ -48,6 +48,10 @@ class ExperimentScale:
             ``event`` or ``batching``; see :mod:`repro.net`).
         link_latency: One-way message latency in seconds when the event
             transport is selected.
+        join_rate: Poisson server-join rate (events/sec) applied to every
+            scenario phase (0 = no churn, the default).
+        fail_rate: Poisson server-failure rate (events/sec) applied to every
+            scenario phase (0 = no churn, the default).
     """
 
     name: str
@@ -60,6 +64,8 @@ class ExperimentScale:
     seed: int = 20040324
     transport: str = "inline"
     link_latency: float = 0.0
+    join_rate: float = 0.0
+    fail_rate: float = 0.0
 
     def __post_init__(self) -> None:
         check_type("server_count", self.server_count, int)
@@ -83,6 +89,11 @@ class ExperimentScale:
             raise ValueError(
                 f"link_latency must be non-negative, got {self.link_latency}"
             )
+        for name in ("join_rate", "fail_rate"):
+            if getattr(self, name) < 0:
+                raise ValueError(
+                    f"{name} must be non-negative, got {getattr(self, name)}"
+                )
 
     @classmethod
     def paper(cls, query_clients: bool = False) -> "ExperimentScale":
@@ -164,8 +175,13 @@ class ExperimentScale:
         return SimulationParams(**values)
 
     def scenario(self, base_bits: int = 8) -> PhasedScenario:
-        """The A → B → C scenario with this scale's phase duration."""
-        return paper_scenario(base_bits=base_bits, phase_duration=self.phase_duration)
+        """The A → B → C scenario with this scale's phase duration and churn."""
+        return paper_scenario(
+            base_bits=base_bits,
+            phase_duration=self.phase_duration,
+            join_rate=self.join_rate,
+            fail_rate=self.fail_rate,
+        )
 
 
 def scaled_setup(

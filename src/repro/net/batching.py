@@ -22,7 +22,7 @@ spot) and are dispatched immediately, route cache aside.
 from __future__ import annotations
 
 from repro.net.envelope import Delivery, Envelope
-from repro.net.transport import Transport, TransportError
+from repro.net.transport import Transport
 
 __all__ = ["BatchingTransport"]
 
@@ -88,15 +88,16 @@ class BatchingTransport(Transport):
         outbox, self._outbox = self._outbox, {}
         self._deferred = 0
         for server in sorted(outbox):
+            if not self.is_bound(server):
+                # The endpoint disappeared (server failure) after its
+                # envelopes were queued; drop them, as a real network would.
+                # Handler errors are not drops and still propagate.
+                self.dropped_messages += len(outbox[server])
+                continue
             for envelope in outbox[server]:
-                try:
-                    self._dispatch(server, envelope)
-                except TransportError:
-                    # The endpoint disappeared (server failure) after the
-                    # envelope was queued; drop it, as a real network would.
-                    continue
+                self._dispatch(server, envelope)
                 delivered += 1
-        if delivered or outbox:
+        if delivered:
             self.batches_flushed += 1
         self._route_cache.clear()
         return delivered

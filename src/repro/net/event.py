@@ -115,6 +115,14 @@ class EventTransport(Transport):
             if self.log_deliveries:
                 self.delivery_log.append((now, server, type(envelope.payload).__name__))
             try:
+                # An endpoint unbound after scheduling (the server failed
+                # with this message in flight) drops the envelope like a real
+                # network instead of aborting the whole simulation run.  Only
+                # that case is a drop: a *handler* raising TransportError is
+                # a programming error and still propagates.
+                if not self.is_bound(server):
+                    self.dropped_messages += 1
+                    return
                 self._dispatch(server, envelope)
             finally:
                 self._in_flight -= 1

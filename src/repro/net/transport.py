@@ -56,6 +56,11 @@ class Transport(abc.ABC):
         self._resolver: RouteResolver | None = None
         self.envelopes_delivered = 0
         self.routes_resolved = 0
+        #: One-way envelopes dropped because their destination endpoint was
+        #: unbound (server failure) between send and delivery.  Synchronous
+        #: transports never defer, so they never drop; the event and batching
+        #: transports count their in-flight losses here symmetrically.
+        self.dropped_messages = 0
 
     # ------------------------------------------------------------------ #
     # Endpoint management
@@ -75,6 +80,10 @@ class Transport(abc.ABC):
     def endpoints(self) -> list[str]:
         """Names of every bound endpoint."""
         return list(self._handlers)
+
+    def is_bound(self, name: str) -> bool:
+        """True while ``name`` has a handler (False once it fails/unbinds)."""
+        return name in self._handlers
 
     def set_resolver(self, resolver: RouteResolver) -> None:
         """Install the DHT lookup used for :class:`DhtAddress` destinations."""

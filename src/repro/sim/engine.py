@@ -95,15 +95,22 @@ class SimulationEngine:
 
         The repetition stops automatically when the engine is run with a
         horizon (events beyond the horizon never fire).
+
+        Tick ``k`` fires at exactly ``first_at + k * period``: re-scheduling
+        at ``now + period`` would accumulate float rounding across ticks, so
+        periodic load checks would slowly drift away from phase boundaries
+        over a 6-hour run.
         """
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")
+        start = first_at if first_at is not None else self._now + period
+        ticks = itertools.count(1)
 
         def fire(now: float) -> None:
             callback(now)
-            self.schedule_at(now + period, fire, label)
+            self.schedule_at(start + next(ticks) * period, fire, label)
 
-        self.schedule_at(first_at if first_at is not None else self._now + period, fire, label)
+        self.schedule_at(start, fire, label)
 
     def run_until(self, horizon: float, max_events: int | None = None) -> int:
         """Fire events in time order until the horizon (inclusive) is reached.

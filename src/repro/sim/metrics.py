@@ -38,6 +38,15 @@ class PeriodSample:
         mean_message_latency: Mean simulated per-message (one-way) delivery
             latency over the period in seconds (0 unless the active transport
             models time).
+        server_joins: Servers that joined the deployment during the period
+            (Poisson churn).
+        server_failures: Servers that failed during the period (phase-entry
+            ``fail_servers`` bursts and Poisson churn alike).
+        groups_reassigned: Key groups handed to a new owner by the period's
+            membership events.
+        dropped_messages: One-way envelopes the transport dropped during the
+            period because their destination failed while they were in
+            flight.
     """
 
     time: float
@@ -53,6 +62,10 @@ class PeriodSample:
     messages_per_server_per_second: float
     message_breakdown: dict[str, float] = field(default_factory=dict)
     mean_message_latency: float = 0.0
+    server_joins: int = 0
+    server_failures: int = 0
+    groups_reassigned: int = 0
+    dropped_messages: int = 0
 
 
 @dataclass(frozen=True)

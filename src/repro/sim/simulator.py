@@ -235,6 +235,28 @@ class FlowSimulator:
         )
         self._system.bootstrap(config.initial_depth)
         self._churn_rng = seeds.stream("churn")
+        # Poisson-arrival churn within phases.  Joins and failures draw from
+        # their own named streams so enabling one never perturbs the other
+        # (or any pre-existing stream: a churn-free run is byte-identical).
+        self._join_rng = seeds.stream("join-arrivals")
+        self._fail_rng = seeds.stream("fail-arrivals")
+        self._pending_churn: list[tuple[float, int, str]] = []
+        # Engine-scheduled churn can fire in the middle of a protocol
+        # exchange (the request pumps the kernel), when the system is in a
+        # legitimately half-transferred state that must not be mutated or
+        # invariant-checked.  Events arriving in an unsafe window are
+        # deferred and applied at the next quiescent point.
+        self._churn_safe = True
+        self._deferred_churn: list[str] = []
+        self._join_counter = 0
+        self._period_joins = 0
+        self._period_failures = 0
+        self._period_reassigned = 0
+        self._dropped_seen = 0
+        #: When True, every membership event is followed by a full
+        #: ClashSystem.verify_invariants() pass (the churn test suites set
+        #: this; it is too expensive for production-scale runs).
+        self.verify_after_membership = False
         self._phase_index: int | None = None
         self._measures: dict[str, LoadMeasure] = {}
         first_spec = scenario.workload_at(0.0)
@@ -406,8 +428,110 @@ class FlowSimulator:
                 if len(names) <= 1:
                     break
                 victim = self._churn_rng.choice(names)
-                self._system.handle_server_failure(victim)
+                reassigned = self._system.handle_server_failure(victim)
                 names.remove(victim)
+                self._period_failures += 1
+                self._period_reassigned += len(reassigned)
+                if self.verify_after_membership:
+                    self._system.verify_invariants()
+        self._schedule_poisson_churn(phase, self._scenario.phase_boundaries()[index])
+
+    # ------------------------------------------------------------------ #
+    # Poisson-arrival churn within a phase
+    # ------------------------------------------------------------------ #
+
+    def _schedule_poisson_churn(self, phase: ScenarioPhase, phase_start: float) -> None:
+        """Queue the phase's seeded join/failure arrivals.
+
+        Arrival times are drawn up front from the dedicated churn streams, so
+        the event sequence is a function of the seed and the scenario alone —
+        identical across transports.  The event transport executes them as
+        simulation-engine events at their arrival times (they can land in the
+        middle of a message exchange, which is exactly the in-flight-loss
+        case the transport must survive); the inline and batching transports,
+        which have no clock, drain them at period boundaries.
+        """
+        events: list[tuple[float, int, str]] = []
+        for rate, priority, kind, rng in (
+            (phase.join_rate, 0, "join", self._join_rng),
+            (phase.fail_rate, 1, "fail", self._fail_rng),
+        ):
+            if rate <= 0.0:
+                continue
+            elapsed = rng.exponential(1.0 / rate)
+            while elapsed < phase.duration:
+                events.append((phase_start + elapsed, priority, kind))
+                elapsed += rng.exponential(1.0 / rate)
+        if not events:
+            return
+        events.sort()
+        if self._engine is not None:
+            for when, _priority, kind in events:
+                self._engine.schedule_at(
+                    max(self._engine.now, when),
+                    lambda now, kind=kind: self._apply_churn_event(kind),
+                    label=f"churn-{kind}",
+                )
+        else:
+            self._pending_churn.extend(events)
+
+    def _drain_pending_churn(self, horizon: float) -> None:
+        """Apply queued churn events that arrived at or before ``horizon``."""
+        while self._pending_churn and self._pending_churn[0][0] <= horizon:
+            _when, _priority, kind = self._pending_churn.pop(0)
+            self._apply_churn_event(kind)
+
+    def _apply_churn_event(self, kind: str) -> None:
+        """Execute one membership event at the next safe moment.
+
+        A churn event delivered while a protocol exchange is in flight (or
+        while another membership event is being handled) is deferred; it is
+        applied as soon as the system is quiescent again, still within the
+        same period's accounting.
+        """
+        if not self._churn_safe:
+            self._deferred_churn.append(kind)
+            return
+        self._churn_safe = False
+        try:
+            self._execute_churn_event(kind)
+            while self._deferred_churn:
+                self._execute_churn_event(self._deferred_churn.pop(0))
+        finally:
+            self._churn_safe = True
+
+    def _drain_deferred_churn(self) -> None:
+        """Apply membership events that arrived during an unsafe window.
+
+        One _apply_churn_event call suffices: it executes the popped event
+        and then consumes the rest of the queue itself.
+        """
+        if self._deferred_churn:
+            self._apply_churn_event(self._deferred_churn.pop(0))
+
+    def _execute_churn_event(self, kind: str) -> None:
+        """Execute one membership event (a server join or failure)."""
+        if kind == "join":
+            name = f"j{self._join_counter}"
+            self._join_counter += 1
+            bits = self._config.hash_bits
+            taken = set(self._system.ring.node_ids())
+            node_id = self._join_rng.randbits(bits)
+            while node_id in taken:
+                node_id = self._join_rng.randbits(bits)
+            handed_off = self._system.handle_server_join(name, node_id=node_id)
+            self._period_joins += 1
+            self._period_reassigned += len(handed_off)
+        else:
+            names = sorted(self._system.server_names())
+            if len(names) <= 1:
+                return
+            victim = self._fail_rng.choice(names)
+            reassigned = self._system.handle_server_failure(victim)
+            self._period_failures += 1
+            self._period_reassigned += len(reassigned)
+        if self.verify_after_membership:
+            self._system.verify_invariants()
 
     # ------------------------------------------------------------------ #
     # Protocol reaction within one period
@@ -502,14 +626,33 @@ class FlowSimulator:
             # in rather than silently discarded.
             self._system.reset_messages()
             self._enter_phase(self._scenario.phase_index_at(time))
+            # Clock-less transports drain the period's Poisson churn here;
+            # the event transport executes it as engine events instead.
+            if self._engine is None:
+                self._drain_pending_churn(period_end)
             spec = self._scenario.workload_at(time)
             self._sources.switch_workload(spec)
             self._queries.switch_workload(spec)
             measure = self._build_measure(spec)
-            splits, merges, redirected, _migrated = self._balance(measure)
-            self._total_splits += splits
-            self._total_merges += merges
-            self._charge_lookups(spec, period_end - time, redirected)
+            # The period's protocol traffic pumps the event kernel; churn
+            # events landing mid-exchange are deferred until it completes.
+            self._churn_safe = False
+            try:
+                splits, merges, redirected, _migrated = self._balance(measure)
+                self._total_splits += splits
+                self._total_merges += merges
+                self._charge_lookups(spec, period_end - time, redirected)
+            finally:
+                self._churn_safe = True
+            self._drain_deferred_churn()
+            if self._engine is not None:
+                # Message exchanges advanced the event clock within the
+                # period; aligning the kernel with the period boundary here
+                # (before the sample is built) both stamps the next period's
+                # traffic consistently and fires the period's remaining churn
+                # events, so membership counters land in the sample of the
+                # period the events belong to.
+                self._engine.run_until(max(self._engine.now, period_end))
             loads = self._server_load_percents()
             min_depth, avg_depth, max_depth = self._system.depth_statistics()
             signalling = self._system.messages.signalling_total()
@@ -519,6 +662,9 @@ class FlowSimulator:
                 if category != MessageCategory.DATA.value
             }
             latency_samples = self._transport.drain_latency_samples()
+            dropped_total = self._transport.dropped_messages
+            dropped = dropped_total - self._dropped_seen
+            self._dropped_seen = dropped_total
             sample = PeriodSample(
                 time=period_end,
                 workload=spec.name,
@@ -537,13 +683,15 @@ class FlowSimulator:
                 / max(1, len(self._system.server_names())),
                 message_breakdown=breakdown,
                 mean_message_latency=mean(latency_samples) if latency_samples else 0.0,
+                server_joins=self._period_joins,
+                server_failures=self._period_failures,
+                groups_reassigned=self._period_reassigned,
+                dropped_messages=dropped,
             )
+            self._period_joins = 0
+            self._period_failures = 0
+            self._period_reassigned = 0
             self._recorder.record(sample)
-            if self._engine is not None:
-                # Message exchanges advanced the event clock within the
-                # period; align the kernel with the period boundary so the
-                # next period's traffic is stamped consistently.
-                self._engine.run_until(max(self._engine.now, period_end))
             time = period_end
         return SimulationResult(
             label=self.label,

@@ -1,15 +1,20 @@
 """Phased workload scenarios (the paper's 6-hour A → B → C schedule).
 
-Beyond the workload skew itself, each phase can carry two environment knobs
-the event-driven transport and the simulator react to:
+Beyond the workload skew itself, each phase can carry environment knobs the
+event-driven transport and the simulator react to:
 
 * ``fail_servers`` — how many randomly chosen servers abruptly fail when the
   phase begins (churn; recovery follows
   :meth:`~repro.core.protocol.ClashSystem.handle_server_failure`).
+* ``join_rate`` / ``fail_rate`` — Poisson-arrival churn *within* the phase:
+  servers join (:meth:`~repro.core.protocol.ClashSystem.handle_server_join`)
+  and fail at seeded exponential inter-arrival times, scheduled as mid-phase
+  events on the simulation engine for the event transport and drained at
+  period boundaries for the inline/batching transports.
 * ``link_latency`` — a per-phase one-way message latency override, applied to
   the event transport's latency model for the duration of the phase.
 
-Both default to "off", so existing scenarios are unchanged.
+All default to "off", so existing scenarios are unchanged.
 """
 
 from __future__ import annotations
@@ -41,6 +46,12 @@ class ScenarioPhase:
         duration: Phase length in seconds.
         fail_servers: Number of randomly selected servers that fail at the
             start of the phase (0 = no churn).
+        join_rate: Poisson arrival rate (events/sec) of servers *joining*
+            mid-phase; inter-arrival times are exponential draws from the
+            simulator's seeded churn streams (0 = no joins).
+        fail_rate: Poisson arrival rate (events/sec) of abrupt server
+            *failures* mid-phase (0 = no mid-phase failures;
+            ``fail_servers`` remains the phase-entry special case).
         link_latency: One-way message latency in seconds enforced while the
             phase is active (``None`` = keep the transport's current model).
     """
@@ -48,6 +59,8 @@ class ScenarioPhase:
     spec: WorkloadSpec
     duration: float
     fail_servers: int = 0
+    join_rate: float = 0.0
+    fail_rate: float = 0.0
     link_latency: float | None = None
 
     def __post_init__(self) -> None:
@@ -56,6 +69,8 @@ class ScenarioPhase:
             raise ValueError(
                 f"fail_servers must be non-negative, got {self.fail_servers}"
             )
+        check_non_negative("join_rate", self.join_rate)
+        check_non_negative("fail_rate", self.fail_rate)
         if self.link_latency is not None:
             check_non_negative("link_latency", self.link_latency)
 
@@ -125,14 +140,30 @@ class PhasedScenario:
 
 
 def paper_scenario(
-    base_bits: int = 8, phase_duration: float = 7200.0
+    base_bits: int = 8,
+    phase_duration: float = 7200.0,
+    join_rate: float = 0.0,
+    fail_rate: float = 0.0,
 ) -> PhasedScenario:
-    """The paper's evaluation scenario: 2 hours each of workloads A, B and C."""
+    """The paper's evaluation scenario: 2 hours each of workloads A, B and C.
+
+    ``join_rate`` / ``fail_rate`` apply the same Poisson churn rates to every
+    phase; both default to 0, which keeps the scenario identical to the
+    paper's churn-free schedule.
+    """
     return PhasedScenario(
         [
-            ScenarioPhase(spec=workload_a(base_bits), duration=phase_duration),
-            ScenarioPhase(spec=workload_b(base_bits), duration=phase_duration),
-            ScenarioPhase(spec=workload_c(base_bits), duration=phase_duration),
+            ScenarioPhase(
+                spec=spec,
+                duration=phase_duration,
+                join_rate=join_rate,
+                fail_rate=fail_rate,
+            )
+            for spec in (
+                workload_a(base_bits),
+                workload_b(base_bits),
+                workload_c(base_bits),
+            )
         ]
     )
 

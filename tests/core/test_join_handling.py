@@ -1,0 +1,166 @@
+"""Tests for server-join handoff in the redirection layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.query_store import Query
+from repro.core.config import ClashConfig
+from repro.core.protocol import ClashSystem
+from repro.keys.identifier import IdentifierKey
+from repro.util.rng import RandomStream
+
+
+@pytest.fixture
+def system() -> ClashSystem:
+    config = ClashConfig.small_scale()
+    return ClashSystem.create(config, server_count=16, rng=RandomStream(55))
+
+
+def _split_some_groups(system: ClashSystem, count: int, seed: int = 3) -> None:
+    rng = RandomStream(seed)
+    for _ in range(count):
+        groups = list(system.active_groups().items())
+        group, owner = groups[rng.randint(0, len(groups) - 1)]
+        system.server(owner).set_group_rate(group, 3 * system.config.server_capacity)
+        system.split_server(owner)
+
+
+def _join_capturing(system: ClashSystem, name: str, group) -> dict:
+    """Join ``name`` exactly at ``group``'s hash point so it takes over."""
+    node_id = system.ring.hash_function.hash_key(group.virtual_key)
+    return system.handle_server_join(name, node_id=node_id)
+
+
+class TestServerJoin:
+    def test_duplicate_name_rejected(self, system: ClashSystem):
+        with pytest.raises(ValueError):
+            system.handle_server_join("s0")
+
+    def test_joiner_is_bound_and_on_the_ring(self, system: ClashSystem):
+        system.handle_server_join("newcomer")
+        assert "newcomer" in system.server_names()
+        assert "newcomer" in system.ring
+        assert "newcomer" in system.transport.endpoints()
+        system.verify_invariants()
+
+    def test_captured_groups_are_handed_off(self, system: ClashSystem):
+        _split_some_groups(system, 10)
+        target = sorted(system.active_groups())[0]
+        former = system.owner_of_group(target)
+        handed = _join_capturing(system, "joiner", target)
+        assert target in handed
+        assert handed[target] == former
+        assert system.owner_of_group(target) == "joiner"
+        assert target not in system.server(former).table
+        system.verify_invariants()
+
+    def test_every_handed_off_group_hashes_to_the_joiner(self, system: ClashSystem):
+        _split_some_groups(system, 20)
+        handed = system.handle_server_join("joiner")
+        ring = system.ring
+        for group in handed:
+            owner = ring.owner_of(ring.hash_function.hash_key(group.virtual_key))
+            assert owner == "joiner"
+            assert system.owner_of_group(group) == "joiner"
+        system.verify_invariants()
+
+    def test_queries_migrate_with_the_group(self, system: ClashSystem):
+        key = IdentifierKey(value=0, width=system.config.key_bits)
+        group, owner = system.find_active_group(key)
+        system.server(owner).store_query(Query(key=key, client="c1", query_id=1))
+        handed = _join_capturing(system, "joiner", group)
+        assert group in handed
+        assert len(system.server("joiner").query_store) == 1
+        assert len(system.server(owner).query_store) == 0
+
+    def test_parent_right_child_linkage_follows_the_joiner(self, system: ClashSystem):
+        key = IdentifierKey(value=0, width=system.config.key_bits)
+        group, owner = system.find_active_group(key)
+        system.server(owner).set_group_rate(group, 3 * system.config.server_capacity)
+        outcome = system.split_server(owner)
+        assert outcome is not None and outcome.shed
+        handed = _join_capturing(system, "joiner", outcome.right)
+        assert outcome.right in handed
+        parent_entry = system.server(outcome.parent_server).table.entry(outcome.group)
+        assert parent_entry.right_child_id == "joiner"
+        # Consolidation still reaches the right child through the new owner.
+        for server in system.servers().values():
+            server.reset_interval()
+        system.run_load_check()
+        system.verify_invariants()
+
+    def test_moved_left_child_restarts_as_a_root(self, system: ClashSystem):
+        """The merge protocol needs the left child local to the parent-entry
+        holder, so a handed-off left child cannot keep its linkage; it
+        restarts as a root (and therefore never addresses load reports no
+        parent could act on)."""
+        key = IdentifierKey(value=0, width=system.config.key_bits)
+        group, owner = system.find_active_group(key)
+        system.server(owner).set_group_rate(group, 3 * system.config.server_capacity)
+        outcome = system.split_server(owner)
+        assert outcome is not None and outcome.shed
+        handed = _join_capturing(system, "joiner", outcome.left)
+        assert outcome.left in handed
+        assert system.server("joiner").table.entry(outcome.left).is_root
+        # No leaf → parent report is built for a root entry.
+        parents = [p for p, _ in system.server("joiner").addressed_load_reports()]
+        assert outcome.parent_server not in parents
+        system.verify_invariants()
+
+    def test_root_groups_stay_roots_on_the_joiner(self, system: ClashSystem):
+        target = sorted(system.active_groups())[0]  # bootstrap group = root
+        handed = _join_capturing(system, "joiner", target)
+        assert target in handed
+        entry = system.server("joiner").table.entry(target)
+        assert entry.is_root
+        system.verify_invariants()
+
+    def test_join_charges_signalling_messages(self, system: ClashSystem):
+        target = sorted(system.active_groups())[0]
+        system.reset_messages()
+        handed = _join_capturing(system, "joiner", target)
+        assert len(handed) >= 1
+        # Release exchange + ACCEPT_KEYGROUP transfer per handed-off group.
+        assert system.messages.total() >= 4 * len(handed)
+
+    def test_clients_resolve_every_key_after_join(self, system: ClashSystem):
+        _split_some_groups(system, 15)
+        system.handle_server_join("joiner")
+        system.verify_invariants()
+        client = system.make_client("post-join")
+        rng = RandomStream(9)
+        for _ in range(25):
+            key = IdentifierKey(
+                value=rng.randbits(system.config.key_bits), width=system.config.key_bits
+            )
+            result = client.find_group(key, use_cache=False)
+            registry_group, registry_owner = system.find_active_group(key)
+            assert result.group == registry_group
+            assert result.server == registry_owner
+
+    def test_interleaved_joins_and_failures_keep_the_system_usable(
+        self, system: ClashSystem
+    ):
+        _split_some_groups(system, 12)
+        rng = RandomStream(77)
+        for index in range(6):
+            if index % 2 == 0:
+                system.handle_server_join(f"j{index}")
+            else:
+                victim = system.active_servers()[
+                    rng.randint(0, len(system.active_servers()) - 1)
+                ]
+                system.handle_server_failure(victim)
+            system.verify_invariants()
+        for server in system.servers().values():
+            server.reset_interval()
+        system.run_load_check()
+        system.verify_invariants()
+
+    def test_rejoining_a_failed_servers_name_is_allowed(self, system: ClashSystem):
+        victim = system.active_servers()[0]
+        system.handle_server_failure(victim)
+        system.handle_server_join(victim)
+        system.verify_invariants()
+        assert victim in system.server_names()

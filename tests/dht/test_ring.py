@@ -149,6 +149,22 @@ class TestLookups:
         with pytest.raises(KeyError):
             ring.find_successor(1, start="unknown")
 
+    def test_validation_runs_before_the_lookup_memo(self, ring: ChordRing):
+        """A warm memo entry for the same key must not let an invalid call
+        silently succeed where a cold-cache call would raise."""
+        key = 12345
+        ring.find_successor(key)  # warm the (key, None) memo entry
+        with pytest.raises(ValueError):
+            ring.find_successor(1 << 16)  # outside the 16-bit space
+        with pytest.raises(KeyError):
+            ring.find_successor(key, start="ghost")
+        ident = IdentifierKey(value=7, width=16)
+        ring.lookup_key(ident)  # warm the identifier-key memo entry
+        with pytest.raises(KeyError):
+            ring.lookup_key(ident, start="ghost")
+        # The warm entries themselves still answer correctly.
+        assert ring.find_successor(key).owner == ring.owner_of(key)
+
     def test_empty_ring_rejected(self):
         ring = ChordRing(space=HashSpace(bits=8))
         with pytest.raises(ValueError):

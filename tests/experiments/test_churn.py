@@ -1,0 +1,58 @@
+"""Tests for the membership-churn sweep experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.churn import (
+    ChurnSweepResult,
+    render_churn_sweep,
+    run_churn_sweep,
+)
+from repro.experiments.runner import ExperimentScale
+
+SMALL_SCALE = ExperimentScale.scaled(factor=100, phase_periods=2)
+
+
+@pytest.fixture(scope="module")
+def sweep() -> ChurnSweepResult:
+    return run_churn_sweep(SMALL_SCALE, rates=((0.0, 0.0), (0.01, 0.01)))
+
+
+class TestChurnSweep:
+    def test_sweep_runs_every_point(self, sweep: ChurnSweepResult):
+        assert len(sweep.points) == 2
+        assert [(p.join_rate, p.fail_rate) for p in sweep.points] == [
+            (0.0, 0.0),
+            (0.01, 0.01),
+        ]
+
+    def test_baseline_point_has_no_churn(self, sweep: ChurnSweepResult):
+        baseline = sweep.baseline()
+        assert baseline.server_joins == 0
+        assert baseline.server_failures == 0
+        assert baseline.groups_reassigned == 0
+
+    def test_churned_point_records_membership_activity(self, sweep: ChurnSweepResult):
+        churned = sweep.points[-1]
+        assert churned.server_joins > 0
+        assert churned.server_failures > 0
+        assert churned.groups_reassigned > 0
+
+    def test_depth_statistics_are_reported(self, sweep: ChurnSweepResult):
+        for point in sweep.points:
+            assert point.mean_depth > 0
+            assert point.max_depth >= point.mean_depth
+            assert point.peak_load_percent > 0
+
+    def test_render_produces_a_table(self, sweep: ChurnSweepResult):
+        text = render_churn_sweep(sweep)
+        assert "Churn sweep" in text
+        assert "peak load %" in text
+        assert "join/sec" in text
+        assert SMALL_SCALE.name in text
+
+    def test_missing_baseline_raises(self):
+        result = run_churn_sweep(SMALL_SCALE, rates=((0.01, 0.0),))
+        with pytest.raises(KeyError):
+            result.baseline()

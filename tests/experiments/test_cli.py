@@ -36,6 +36,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig4", "--transport", "smoke-signals"])
 
+    def test_churn_rates_default_to_unset(self):
+        # None (not 0.0) so the churn command can tell an explicit
+        # `--join-rate 0` apart from "no rate given".
+        args = build_parser().parse_args(["fig4"])
+        assert args.join_rate is None
+        assert args.fail_rate is None
+
+    def test_churn_rates_parse(self):
+        args = build_parser().parse_args(
+            ["churn", "--join-rate", "0.01", "--fail-rate", "0.02"]
+        )
+        assert args.figure == "churn"
+        assert args.join_rate == 0.01
+        assert args.fail_rate == 0.02
+
 
 class TestMain:
     def test_fig1_writes_report(self, tmp_path: pathlib.Path, capsys):
@@ -145,6 +160,48 @@ class TestMain:
                 "2",
                 "--transport",
                 "batching",
+                "--quiet",
+            ]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "figure4.txt").exists()
+
+    def test_churn_command_writes_sweep_report(self, tmp_path: pathlib.Path):
+        exit_code = main(
+            [
+                "churn",
+                "--output-dir",
+                str(tmp_path),
+                "--scale-factor",
+                "100",
+                "--phase-periods",
+                "2",
+                "--join-rate",
+                "0.01",
+                "--fail-rate",
+                "0.01",
+                "--quiet",
+            ]
+        )
+        assert exit_code == 0
+        text = (tmp_path / "churn.txt").read_text()
+        assert "Churn sweep" in text
+        assert "0.01" in text
+
+    def test_fig4_runs_with_churn_rates(self, tmp_path: pathlib.Path):
+        exit_code = main(
+            [
+                "fig4",
+                "--output-dir",
+                str(tmp_path),
+                "--scale-factor",
+                "100",
+                "--phase-periods",
+                "2",
+                "--join-rate",
+                "0.01",
+                "--fail-rate",
+                "0.01",
                 "--quiet",
             ]
         )

@@ -172,6 +172,23 @@ class TestEventTransport:
         assert samples == [pytest.approx(0.1)]
         assert transport.drain_latency_samples() == []
 
+    def test_post_to_endpoint_unbound_after_scheduling_is_dropped(self):
+        """Regression: a one-way delivery whose destination was unbound after
+        scheduling (server failed with the message in flight) used to let
+        TransportError escape run_until and abort the run."""
+        engine = SimulationEngine()
+        transport = EventTransport(engine=engine, latency=ConstantLatency(0.5))
+        survivor = _Recorder()
+        transport.bind("doomed", _Recorder())
+        transport.bind("survivor", survivor)
+        transport.post(Envelope(source="cli", destination="doomed", payload=1))
+        transport.post(Envelope(source="cli", destination="survivor", payload=2))
+        transport.unbind("doomed")
+        flushed = transport.flush()  # must not raise
+        assert flushed == 2  # both envelopes left the calendar
+        assert transport.dropped_messages == 1
+        assert [e.payload for e in survivor.received] == [2]
+
     def test_per_hop_latency_prices_dht_routes(self):
         engine = SimulationEngine()
         transport = EventTransport(
@@ -268,6 +285,24 @@ class TestBatchingTransport:
         transport.post(Envelope(source="cli", destination="srv", payload=1))
         transport.unbind("srv")
         assert transport.flush() == 0  # dropped, not raised
+        assert transport.dropped_messages == 1
+
+    def test_all_dropped_flush_is_not_counted_as_a_batch(self):
+        """A flush where every queued envelope was dropped delivered nothing,
+        so it must not inflate batches_flushed."""
+        transport = BatchingTransport()
+        transport.bind("srv", _Recorder())
+        transport.post(Envelope(source="cli", destination="srv", payload=1))
+        transport.post(Envelope(source="cli", destination="srv", payload=2))
+        transport.unbind("srv")
+        assert transport.flush() == 0
+        assert transport.batches_flushed == 0
+        assert transport.dropped_messages == 2
+        # A flush that delivers something still counts.
+        transport.bind("srv", _Recorder())
+        transport.post(Envelope(source="cli", destination="srv", payload=3))
+        assert transport.flush() == 1
+        assert transport.batches_flushed == 1
 
 
 class TestBuildTransport:

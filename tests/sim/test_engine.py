@@ -83,6 +83,27 @@ class TestPeriodicEvents:
         with pytest.raises(ValueError):
             SimulationEngine().schedule_every(0.0, lambda now: None)
 
+    def test_schedule_every_does_not_accumulate_float_drift(self):
+        """Tick k must fire at exactly first_at + k * period: re-scheduling at
+        now + period accumulates rounding (0.1 drifts within 6 additions) and
+        periodic load checks would slip off phase boundaries over long runs."""
+        engine = SimulationEngine()
+        ticks: list[float] = []
+        engine.schedule_every(0.1, ticks.append, first_at=0.1)
+        engine.run_until(10.05)
+        assert len(ticks) == 100
+        assert ticks == [0.1 + k * 0.1 for k in range(100)]
+
+    def test_schedule_every_aligns_with_phase_boundaries_over_six_hours(self):
+        """The paper's 300 s load-check period over a 6-hour scenario: every
+        tick lands exactly on a multiple of the period."""
+        engine = SimulationEngine()
+        ticks: list[float] = []
+        engine.schedule_every(300.0, ticks.append, first_at=300.0)
+        engine.run_until(6 * 3600.0)
+        assert len(ticks) == 72
+        assert all(tick == 300.0 * (k + 1) for k, tick in enumerate(ticks))
+
     def test_max_events_limits_processing(self):
         engine = SimulationEngine()
         ticks: list[float] = []
