@@ -39,7 +39,7 @@ from repro.experiments.reporting import (
     series_to_csv,
 )
 from repro.experiments.runner import ExperimentScale
-from repro.net import TRANSPORT_KINDS
+from repro.net import TRANSPORT_KINDS, TRANSPORTS
 
 __all__ = ["main", "build_parser"]
 
@@ -89,18 +89,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--transport",
         choices=list(TRANSPORT_KINDS),
         default="inline",
-        help="transport protocol messages travel through: 'inline' is the "
-        "paper-faithful synchronous default, 'event' routes envelopes "
-        "through the discrete-event kernel with simulated latency, "
-        "'batching' coalesces same-destination traffic per load-check "
-        "period (default: inline)",
+        help="transport protocol messages travel through: "
+        + "; ".join(f"'{spec.kind}' — {spec.summary}" for spec in TRANSPORTS.values())
+        + " (default: inline)",
     )
     parser.add_argument(
         "--link-latency",
         type=float,
         default=0.0,
-        help="one-way message latency in seconds for the event transport "
-        "(ignored by the other transports; default: 0)",
+        help="one-way message latency in seconds for the time-modelling "
+        "transports (event, async; ignored by the others; default: 0)",
     )
     parser.add_argument(
         "--join-rate",

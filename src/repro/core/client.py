@@ -35,6 +35,7 @@ from typing import Protocol
 from repro.core.messages import AcceptObjectReply, ReplyStatus
 from repro.keys.identifier import IdentifierKey
 from repro.keys.keygroup import KeyGroup
+from repro.net.transport import DeliveryFailed
 
 __all__ = ["ClashClient", "DepthSearchResult", "ObjectRouter"]
 
@@ -182,12 +183,25 @@ class ClashClient:
         tried: set[int] = set()
         probe_depths: list[int] = []
         total_messages = 0
+        failed_probes = 0
         estimate = min(max(self._initial_depth_hint, low), high)
         while True:
             estimate = self._next_untried(estimate, low, high, tried)
             tried.add(estimate)
             probe_depths.append(estimate)
-            reply, cost = self._router.route_accept_object(key, estimate, self._name)
+            try:
+                reply, cost = self._router.route_accept_object(key, estimate, self._name)
+            except DeliveryFailed:
+                # The probed server failed with the request in flight.  The
+                # DHT re-stabilises before control returns, so the same depth
+                # re-probes against a live owner; the bound keeps a cascading
+                # failure from retrying forever.
+                failed_probes += 1
+                if failed_probes > self._key_bits:
+                    raise
+                total_messages += 1  # the lost probe still crossed the wire
+                tried.discard(estimate)
+                continue
             total_messages += cost
             if reply.status in (ReplyStatus.OK, ReplyStatus.OK_CORRECTED_DEPTH):
                 depth = reply.correct_depth

@@ -24,6 +24,7 @@ only their own tables, exactly as in the paper.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 
 from repro.core.client import ClashClient
@@ -46,11 +47,45 @@ from repro.keys.identifier import IdentifierKey
 from repro.keys.keygroup import KeyGroup
 from repro.net.envelope import DhtAddress, Envelope
 from repro.net.inline import InlineTransport
-from repro.net.transport import Transport, TransportError
+from repro.net.transport import DeliveryFailed, Transport, TransportError
 from repro.util.rng import RandomStream
 from repro.util.validation import check_positive, check_type
 
-__all__ = ["ClashSystem", "SplitOutcome", "MergeOutcome"]
+__all__ = ["AwaitableHandler", "ClashSystem", "SplitOutcome", "MergeOutcome"]
+
+
+class AwaitableHandler:
+    """The thin sync/async bridge every server endpoint is bound behind.
+
+    Synchronous transports (inline, event, batching) call the handler like a
+    plain function — dispatch runs on the caller's stack, exactly as before.
+    The asyncio transport awaits :meth:`handle_async` instead, which also
+    unwraps handlers that themselves return awaitables, so individual server
+    handlers may become native coroutines without touching the transports.
+    """
+
+    __slots__ = ("_handle",)
+
+    def __init__(self, handle) -> None:
+        self._handle = handle
+
+    def __call__(self, envelope: Envelope):
+        reply = self._handle(envelope)
+        if inspect.isawaitable(reply):
+            if inspect.iscoroutine(reply):
+                reply.close()  # silence the never-awaited warning
+            raise TransportError(
+                "handler returned an awaitable on a synchronous transport; "
+                "use the async transport for coroutine handlers"
+            )
+        return reply
+
+    async def handle_async(self, envelope: Envelope):
+        """Awaitable dispatch (used by the asyncio transport)."""
+        reply = self._handle(envelope)
+        if inspect.isawaitable(reply):
+            reply = await reply
+        return reply
 
 
 @dataclass(frozen=True)
@@ -216,11 +251,13 @@ class ClashSystem:
             merge_policy=merge_policy,
         )
 
-    def _make_endpoint(self, server: ClashServer):
+    def _make_endpoint(self, server: ClashServer) -> AwaitableHandler:
         """The transport-facing handler for one server.
 
         Dispatches on the payload type of the incoming envelope; this is the
-        single place where transported messages re-enter server code.
+        single place where transported messages re-enter server code.  The
+        returned :class:`AwaitableHandler` is callable for the synchronous
+        transports and awaitable (``handle_async``) for the asyncio one.
         """
 
         def handle(envelope: Envelope):
@@ -245,7 +282,7 @@ class ClashSystem:
                 f"{type(payload).__name__}"
             )
 
-        return handle
+        return AwaitableHandler(handle)
 
     # ------------------------------------------------------------------ #
     # Convenience constructors
@@ -491,14 +528,22 @@ class ClashSystem:
             )
         group = KeyGroup.from_key(key, estimated_depth)
         message = AcceptObject(key=key, estimated_depth=estimated_depth, sender=sender)
-        delivery = self._transport.request(
-            Envelope(
-                source=sender,
-                destination=DhtAddress(group.virtual_key),
-                payload=message,
-                category=MessageCategory.LOOKUP,
+        try:
+            delivery = self._transport.request(
+                Envelope(
+                    source=sender,
+                    destination=DhtAddress(group.virtual_key),
+                    payload=message,
+                    category=MessageCategory.LOOKUP,
+                )
             )
-        )
+        except DeliveryFailed:
+            # The resolved owner failed with the probe in flight.  Charge the
+            # lost request (no reply ever travels back) and let the typed
+            # failure reach the client, which retries against the
+            # re-stabilised DHT.
+            self._messages.add(MessageCategory.LOOKUP, 1)
+            raise
         cost = self._charge_lookup(delivery.hops)
         return delivery.reply, cost
 
@@ -544,15 +589,26 @@ class ClashSystem:
                     parent_server=server_name,
                     migrated_queries=len(migrated),
                 )
-                self._transport.request(
-                    Envelope(
-                        source=server_name,
-                        destination=child_owner,
-                        payload=transfer,
-                        category=MessageCategory.SPLIT,
-                        attachment=migrated,
+                try:
+                    self._transport.request(
+                        Envelope(
+                            source=server_name,
+                            destination=child_owner,
+                            payload=transfer,
+                            category=MessageCategory.SPLIT,
+                            attachment=migrated,
+                        )
                     )
-                )
+                except DeliveryFailed:
+                    # The chosen child failed with the ACCEPT_KEYGROUP in
+                    # flight: responsibility never moved.  Revert the local
+                    # split (the queries come home with it) and report no
+                    # split this pass — the next load check re-resolves the
+                    # right child against the recovered ring.
+                    server.undo_split(current, queries=migrated)
+                    self._messages.add(MessageCategory.SPLIT, 1)  # lost transfer
+                    self._touched_groups.add(current)
+                    return None
                 self._messages.add(MessageCategory.SPLIT, 2)  # transfer + ack
                 self._messages.add(MessageCategory.STATE_TRANSFER, len(migrated))
                 self._unregister_group(current)
@@ -640,14 +696,21 @@ class ClashSystem:
             if child_server_name is None or child_server_name not in self._servers:
                 continue
             left, right = parent_group.split()
-            release = self._transport.request(
-                Envelope(
-                    source=server_name,
-                    destination=child_server_name,
-                    payload=ReleaseKeyGroup(group=right, child_server=child_server_name),
-                    category=MessageCategory.MERGE,
+            try:
+                release = self._transport.request(
+                    Envelope(
+                        source=server_name,
+                        destination=child_server_name,
+                        payload=ReleaseKeyGroup(group=right, child_server=child_server_name),
+                        category=MessageCategory.MERGE,
+                    )
                 )
-            )
+            except DeliveryFailed:
+                # The child failed with the release request in flight; its
+                # groups were re-homed by failure recovery, so this merge is
+                # simply off the table.  Charge the lost request and move on.
+                self._messages.add(MessageCategory.MERGE, 1)
+                continue
             if release.reply is None:
                 # The child has split the group further since reporting; skip.
                 continue
@@ -661,15 +724,23 @@ class ClashSystem:
                 # object is stale) or the local left child changed under us;
                 # undo is not needed because release_group only removed the
                 # child's entry — put the right child back where it was.
-                self._transport.request(
-                    Envelope(
-                        source=server_name,
-                        destination=child_server_name,
-                        payload=AcceptKeyGroup(group=right, parent_server=server_name),
-                        category=MessageCategory.MERGE,
-                        attachment=returned,
+                try:
+                    self._transport.request(
+                        Envelope(
+                            source=server_name,
+                            destination=child_server_name,
+                            payload=AcceptKeyGroup(group=right, parent_server=server_name),
+                            category=MessageCategory.MERGE,
+                            attachment=returned,
+                        )
                     )
-                )
+                except DeliveryFailed:
+                    # The child failed after releasing but before the
+                    # put-back landed; the group (and its queries) would be
+                    # lost — restart it as a root on the ring's current owner.
+                    self._messages.add(MessageCategory.MERGE, 1)
+                    self._restart_as_root(right, returned)
+                    continue
                 # Ownership never changed, but the release dropped the child's
                 # measured rate for the group — it must be reassigned.
                 self._touched_groups.add(right)
@@ -740,6 +811,32 @@ class ClashSystem:
     # Membership changes (join handoff, failure recovery)
     # ------------------------------------------------------------------ #
 
+    def _restart_as_root(self, group: KeyGroup, queries: list | None) -> str:
+        """Re-home an orphaned group as a root entry on its current DHT owner.
+
+        The common tail of every mid-flight-failure recovery: the server that
+        should have received ``group`` is gone, so the group (and whatever
+        queries travelled with it) restarts as a root — consolidation linkage
+        cannot survive, exactly as in :meth:`handle_server_failure` — on the
+        server its virtual key hashes to in the post-failure ring.
+        """
+        new_owner = self._ring.owner_of(
+            self._ring.hash_function.hash_key(group.virtual_key)
+        )
+        self._servers[new_owner].accept_keygroup(
+            AcceptKeyGroup(
+                group=group,
+                parent_server=None,
+                migrated_queries=len(queries) if queries else 0,
+            ),
+            queries=queries,
+        )
+        self._messages.add(MessageCategory.SPLIT, 2)  # transfer + ack
+        self._messages.add(MessageCategory.STATE_TRANSFER, len(queries) if queries else 0)
+        self._unregister_group(group)
+        self._register_group(group, new_owner)
+        return new_owner
+
     def handle_server_join(
         self, joiner: str, node_id: int | None = None
     ) -> dict[KeyGroup, str]:
@@ -803,32 +900,49 @@ class ClashSystem:
                 parent_name = None
             else:
                 parent_name = former if parent_id == SELF_PARENT else parent_id
-            release = self._transport.request(
-                Envelope(
-                    source=joiner,
-                    destination=former,
-                    payload=ReleaseKeyGroup(group=group, child_server=former),
-                    category=MessageCategory.MERGE,
+            try:
+                release = self._transport.request(
+                    Envelope(
+                        source=joiner,
+                        destination=former,
+                        payload=ReleaseKeyGroup(group=group, child_server=former),
+                        category=MessageCategory.MERGE,
+                    )
                 )
-            )
+            except DeliveryFailed:
+                # The former owner failed with the release in flight; its
+                # failure recovery has already re-homed every group it still
+                # held (to the joiner, for the keys that moved it here).
+                self._messages.add(MessageCategory.MERGE, 1)
+                continue
             if release.reply is None:
                 # The owner refused the release (the group changed under us
                 # mid-handoff); leave ownership where it is.
                 continue
             queries: list = release.reply
-            self._transport.request(
-                Envelope(
-                    source=former,
-                    destination=joiner,
-                    payload=AcceptKeyGroup(
-                        group=group,
-                        parent_server=parent_name,
-                        migrated_queries=len(queries),
-                    ),
-                    category=MessageCategory.SPLIT,
-                    attachment=queries,
+            try:
+                self._transport.request(
+                    Envelope(
+                        source=former,
+                        destination=joiner,
+                        payload=AcceptKeyGroup(
+                            group=group,
+                            parent_server=parent_name,
+                            migrated_queries=len(queries),
+                        ),
+                        category=MessageCategory.SPLIT,
+                        attachment=queries,
+                    )
                 )
-            )
+            except DeliveryFailed:
+                # The joiner itself failed before the transfer landed.  The
+                # release already happened, so the group and its queries must
+                # be re-homed — as a root on the ring's current owner.
+                self._messages.add(MessageCategory.MERGE, 2)
+                self._messages.add(MessageCategory.SPLIT, 1)  # lost transfer
+                handed_off[group] = former
+                self._restart_as_root(group, queries)
+                continue
             self._messages.add(MessageCategory.MERGE, 2)  # release request + reply
             self._messages.add(MessageCategory.SPLIT, 2)  # transfer + ack
             self._messages.add(MessageCategory.STATE_TRANSFER, len(queries))
@@ -893,17 +1007,34 @@ class ClashSystem:
                 group=group, parent_server=parent_name if parent_name else new_owner
             )
             if parent_name is not None:
-                self._transport.request(
-                    Envelope(
-                        source=parent_name,
-                        destination=new_owner,
-                        payload=transfer,
-                        category=MessageCategory.SPLIT,
+                try:
+                    self._transport.request(
+                        Envelope(
+                            source=parent_name,
+                            destination=new_owner,
+                            payload=transfer,
+                            category=MessageCategory.SPLIT,
+                        )
                     )
-                )
-                # The parent's bookkeeping must name the new child owner so
-                # that future consolidations contact the right server.
-                self._servers[parent_name].table.entry(group.parent()).right_child_id = new_owner
+                except DeliveryFailed:
+                    # A cascading failure removed new_owner while the
+                    # re-issued transfer was in flight; charge the lost
+                    # (ack-less) transfer, then restart the group as a root
+                    # on whoever owns its key in the twice-shrunk ring — the
+                    # unconditional transfer + ack charge below covers that
+                    # restart.
+                    self._messages.add(MessageCategory.SPLIT, 1)
+                    new_owner = self._ring.owner_of(
+                        self._ring.hash_function.hash_key(group.virtual_key)
+                    )
+                    self._servers[new_owner].assign_root_group(group)
+                else:
+                    # The parent's bookkeeping must name the new child owner
+                    # so that future consolidations contact the right server.
+                    if parent_name in self._servers:
+                        self._servers[parent_name].table.entry(
+                            group.parent()
+                        ).right_child_id = new_owner
             else:
                 self._servers[new_owner].assign_root_group(group)
             self._messages.add(MessageCategory.SPLIT, 2)

@@ -368,6 +368,21 @@ class ClashServer:
         self.splits_performed += 1
         return left, right, migrated
 
+    def undo_split(self, group: KeyGroup, queries: list[Query] | None = None) -> None:
+        """Revert a :meth:`perform_split` whose transfer was never delivered.
+
+        The right-child server failed while the ``ACCEPT_KEYGROUP`` was in
+        flight, so responsibility never moved: the table reverts to the
+        pre-split entry and the extracted queries come home.  The parent's
+        measured rate was dropped by :meth:`perform_split`; the caller must
+        mark the group for reassignment.
+        """
+        left = self._table.record_consolidation(group)
+        self._group_rates.pop(left, None)
+        if queries:
+            self._queries.add_all(queries)
+        self.splits_performed -= 1
+
     def perform_local_split(self, group: KeyGroup) -> tuple[KeyGroup, KeyGroup]:
         """Split ``group`` but keep both children on this server.
 

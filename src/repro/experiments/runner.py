@@ -44,10 +44,12 @@ class ExperimentScale:
         phase_duration: Length of each workload phase in seconds.
         load_check_period: Seconds between load checks.
         seed: Master random seed.
-        transport: Transport protocol messages travel through (``inline``,
-            ``event`` or ``batching``; see :mod:`repro.net`).
-        link_latency: One-way message latency in seconds when the event
-            transport is selected.
+        transport: Transport protocol messages travel through (one of
+            :data:`repro.net.TRANSPORT_KINDS` — ``inline``, ``event``,
+            ``batching`` or ``async``; see the :data:`repro.net.TRANSPORTS`
+            registry).
+        link_latency: One-way message latency in seconds when a
+            time-modelling transport (``event``, ``async``) is selected.
         join_rate: Poisson server-join rate (events/sec) applied to every
             scenario phase (0 = no churn, the default).
         fail_rate: Poisson server-failure rate (events/sec) applied to every

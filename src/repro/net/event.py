@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from repro.net.envelope import Delivery, Envelope
 from repro.net.latency import LatencyModel, ZeroLatency
-from repro.net.transport import Transport, TransportError
+from repro.net.transport import DeliveryFailed, Transport, TransportError
 from repro.sim.engine import SimulationEngine
 
 __all__ = ["EventTransport"]
@@ -85,6 +85,11 @@ class EventTransport(Transport):
         The request travels for one latency sample, the handler fires as an
         engine event, and the reply travels back for another sample; the
         engine clock advances by the round trip.
+
+        Raises :class:`~repro.net.transport.DeliveryFailed` when the
+        destination endpoint unbinds (server failure) while the request is in
+        flight: the exchange is cancelled and the lost request counted in
+        :attr:`dropped_messages`, exactly as a one-way post would be.
         """
         server, hops = self._route(envelope)
         forward = self._latency.sample(envelope.source, server, hops)
@@ -94,10 +99,18 @@ class EventTransport(Transport):
         def deliver(now: float) -> None:
             if self.log_deliveries:
                 self.delivery_log.append((now, server, type(envelope.payload).__name__))
+            if not self.is_bound(server):
+                self.dropped_messages += 1
+                outcome["failed"] = True
+                return
             outcome["reply"] = self._dispatch(server, envelope)
 
         self._engine.schedule_in(forward, deliver, label=f"deliver->{server}")
-        self._pump(lambda: "reply" in outcome)
+        self._pump(lambda: bool(outcome))
+        if "reply" not in outcome:
+            # No reply leg: the request died on the forward leg.
+            self._latency_samples.append(forward)
+            raise DeliveryFailed(server, envelope)
         self._engine.run_until(self._engine.now + backward)
         self._latency_samples.append(forward)
         self._latency_samples.append(backward)

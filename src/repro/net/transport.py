@@ -25,7 +25,7 @@ from typing import Callable
 
 from repro.net.envelope import Delivery, DhtAddress, Envelope
 
-__all__ = ["Handler", "RouteResolver", "Transport", "TransportError"]
+__all__ = ["DeliveryFailed", "Handler", "RouteResolver", "Transport", "TransportError"]
 
 Handler = Callable[[Envelope], object]
 """An endpoint's message handler: receives an envelope, returns the reply
@@ -39,6 +39,32 @@ RouteResolver = Callable[[object], object]
 class TransportError(RuntimeError):
     """Raised when an envelope cannot be delivered (unknown endpoint, no
     resolver for a DHT-addressed destination, ...)."""
+
+
+class DeliveryFailed(TransportError):
+    """A request/reply exchange was cancelled because its destination failed
+    while the request was in flight.
+
+    Transports that model time can have a destination endpoint unbind (server
+    failure) between scheduling a request and delivering it.  The exchange is
+    cancelled — the lost request is counted in
+    :attr:`Transport.dropped_messages` — and this typed error is raised so
+    protocol-level callers can recover (retry against the re-stabilised DHT,
+    skip the merge, re-root the orphaned group) instead of a generic
+    :class:`TransportError` aborting the whole run.
+
+    Attributes:
+        destination: Name of the endpoint that failed mid-flight.
+        envelope: The envelope whose delivery was cancelled.
+    """
+
+    def __init__(self, destination: str, envelope: Envelope) -> None:
+        super().__init__(
+            f"request to {destination!r} cancelled: the endpoint failed while "
+            f"the {type(envelope.payload).__name__} exchange was in flight"
+        )
+        self.destination = destination
+        self.envelope = envelope
 
 
 class Transport(abc.ABC):
@@ -162,3 +188,9 @@ class Transport(abc.ABC):
         Transports with no deferred delivery return 0.
         """
         return 0
+
+    def close(self) -> None:
+        """Release any resources the transport holds (event loops, sockets).
+
+        Most transports hold none; the asyncio transport closes its event
+        loop here.  Safe to call more than once."""

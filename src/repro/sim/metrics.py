@@ -8,12 +8,12 @@ and the per-phase summaries Figures 4 (bottom-right) and 5 report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.util.stats import TimeSeries, mean
 from repro.workload.scenario import PhasedScenario
 
-__all__ = ["PeriodSample", "PhaseSummary", "MetricsRecorder"]
+__all__ = ["PeriodSample", "PhaseSummary", "MetricsRecorder", "diff_sample_streams"]
 
 
 @dataclass(frozen=True)
@@ -211,3 +211,36 @@ class MetricsRecorder:
                 result.append(sample)
             phase_count += 1
         return result
+
+
+def diff_sample_streams(
+    samples: list[PeriodSample], reference: list[PeriodSample]
+) -> list[str]:
+    """Field-level differences between two ``PeriodSample`` streams.
+
+    The formal statement of transport/engine equivalence: two runs are
+    *bit-identical* exactly when this returns an empty list.  Comparison is
+    plain dataclass equality — every field, floats included, with no
+    tolerance — and each difference is described down to the period index and
+    field name so an equivalence failure reads as a diagnosis, not an opaque
+    dataclass inequality.  :meth:`repro.sim.simulator.SimulationResult.diff`
+    wraps this together with the run totals; the golden test harness
+    (``tests/net/equivalence.py``) and ``benchmarks/bench_async.py`` assert
+    through that.
+    """
+    differences: list[str] = []
+    if len(samples) != len(reference):
+        differences.append(
+            f"stream lengths differ: {len(samples)} samples vs "
+            f"{len(reference)} reference samples"
+        )
+    for index, (sample, expected) in enumerate(zip(samples, reference)):
+        if sample == expected:
+            continue
+        for spec in fields(sample):
+            observed, wanted = getattr(sample, spec.name), getattr(expected, spec.name)
+            if observed != wanted:
+                differences.append(
+                    f"period {index}: {spec.name} = {observed!r}, expected {wanted!r}"
+                )
+    return differences

@@ -29,10 +29,15 @@ from dataclasses import dataclass, field
 from repro.core.config import ClashConfig
 from repro.core.messages import MessageCategory
 from repro.core.protocol import ClashSystem
-from repro.net import TRANSPORT_KINDS, ConstantLatency, build_transport
+from repro.net import TRANSPORT_KINDS, ConstantLatency, build_transport, transport_spec
 from repro.sim.engine import SimulationEngine
 from repro.sim.loadmeasure import LoadMeasure
-from repro.sim.metrics import MetricsRecorder, PeriodSample, PhaseSummary
+from repro.sim.metrics import (
+    MetricsRecorder,
+    PeriodSample,
+    PhaseSummary,
+    diff_sample_streams,
+)
 from repro.util.rng import SeedSequenceFactory
 from repro.util.stats import mean
 from repro.util.validation import check_positive, check_type
@@ -70,16 +75,18 @@ class SimulationParams:
             iterations per period.
         max_splits_per_server_per_iteration: Splits one server may perform in
             a single load-check pass.
-        transport: Which transport carries protocol messages — ``"inline"``
-            (synchronous, the seed semantics), ``"event"`` (event-kernel
-            delivery with simulated latency) or ``"batching"`` (per-period
-            coalescing).
-        link_latency: Base one-way message latency in seconds (``event``
-            transport only; scenario phases may override it).
+        transport: Which transport carries protocol messages — one of
+            :data:`repro.net.TRANSPORT_KINDS`: ``"inline"`` (synchronous, the
+            seed semantics), ``"event"`` (event-kernel delivery with
+            simulated latency), ``"batching"`` (per-period coalescing) or
+            ``"async"`` (asyncio event loop with awaitable handlers).
+        link_latency: Base one-way message latency in seconds (transports
+            that model time — ``event`` and ``async``; scenario phases may
+            override it).
         latency_jitter: Half-width of uniform per-message jitter around
-            ``link_latency`` (``event`` transport only).
-        per_hop_latency: Extra latency per Chord routing hop (``event``
-            transport only).
+            ``link_latency`` (time-modelling transports only).
+        per_hop_latency: Extra latency per Chord routing hop (time-modelling
+            transports only).
     """
 
     server_count: int = 100
@@ -180,6 +187,24 @@ class SimulationResult:
         """Per-workload-phase aggregates."""
         return self.metrics.phase_summaries()
 
+    def diff(self, reference: "SimulationResult") -> list[str]:
+        """Every difference from ``reference``, down to field and period.
+
+        The single statement of run equivalence (bit-identical ⇔ empty list):
+        run totals first, then the per-period field diff from
+        :func:`repro.sim.metrics.diff_sample_streams`.  Both the golden test
+        harness and ``benchmarks/bench_async.py`` assert on this.
+        """
+        differences = [
+            f"{name}: {getattr(self, name)!r}, expected {getattr(reference, name)!r}"
+            for name in ("total_splits", "total_merges", "final_active_groups")
+            if getattr(self, name) != getattr(reference, name)
+        ]
+        differences.extend(
+            diff_sample_streams(self.metrics.samples, reference.metrics.samples)
+        )
+        return differences
+
 
 class FlowSimulator:
     """Simulate a CLASH (or fixed-depth DHT) deployment over a phased scenario.
@@ -217,7 +242,13 @@ class FlowSimulator:
             )
         self._config = config
         seeds = SeedSequenceFactory(params.seed)
-        self._engine = SimulationEngine() if params.transport == "event" else None
+        # The registry decides the execution model: transports that need the
+        # discrete-event engine get one (and scenario churn runs on it);
+        # clock-less transports — and the async transport, which owns its own
+        # asyncio loop and virtual clock — drain churn at period boundaries.
+        self._engine = (
+            SimulationEngine() if transport_spec(params.transport).needs_engine else None
+        )
         self._transport = build_transport(
             params.transport,
             engine=self._engine,
@@ -225,6 +256,7 @@ class FlowSimulator:
             latency_jitter=params.latency_jitter,
             per_hop_latency=params.per_hop_latency,
             rng=seeds.stream("latency"),
+            ready_rng=seeds.stream("async-ready"),
         )
         self._system = ClashSystem.create(
             config,

@@ -1,194 +1,115 @@
 """Transport equivalence and integration tests.
 
-``golden_seed.json`` was captured from the seed implementation *before* the
-transport refactor: a small flow-simulation run plus a depth-search trace on a
-skew-split deployment.  ``InlineTransport`` (the default) must reproduce it
-bit for bit, and ``BatchingTransport`` must match it too — its route cache
-replays the same hop charges, so only wall-clock time may differ.
+Parametrized over the :data:`repro.net.TRANSPORTS` registry: every transport
+claiming ``exact_equivalence`` must reproduce the golden seed capture and
+inline ``PeriodSample`` streams bit for bit on the reference workloads, and
+every transport claiming ``churn_equivalence`` must stay bit-identical under
+Poisson membership churn.  The shared machinery lives in
+``tests/net/equivalence.py``; registering a new transport automatically
+enrols it here.
 """
 
 from __future__ import annotations
 
-import json
-import pathlib
-
 import pytest
+from equivalence import (
+    REFERENCE_WORKLOADS,
+    assert_depth_search_matches_golden,
+    assert_matches_golden_flow,
+    assert_samples_bit_identical,
+    build_traced_system,
+    churn_scenario,
+    load_golden,
+    make_transport,
+    reference_scale,
+    run_flow,
+    single_workload_scenario,
+)
 
-from repro.core.config import ClashConfig
-from repro.core.protocol import ClashSystem
 from repro.experiments.runner import ExperimentScale
-from repro.keys.identifier import RandomKeyGenerator
+from repro.net import TRANSPORTS
 from repro.net.batching import BatchingTransport
 from repro.net.event import EventTransport
-from repro.net.inline import InlineTransport
 from repro.sim.simulator import FlowSimulator, SimulationParams
-from repro.util.rng import RandomStream
-from repro.workload.distributions import workload_b, workload_c
 from repro.workload.scenario import churn_latency_scenario
 
-GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_seed.json"
+EXACT_KINDS = [kind for kind, spec in TRANSPORTS.items() if spec.exact_equivalence]
+CHURN_KINDS = [kind for kind, spec in TRANSPORTS.items() if spec.churn_equivalence]
 
 
 @pytest.fixture(scope="module")
 def golden() -> dict:
-    return json.loads(GOLDEN_PATH.read_text())
+    return load_golden()
 
 
-def _build_traced_system(transport) -> tuple[ClashSystem, list, ClashConfig]:
-    """Replay the golden capture's split workload on a fresh system."""
-    config = ClashConfig(server_capacity=400.0)
-    system = ClashSystem(
-        config,
-        [f"s{index}" for index in range(64)],
-        rng=RandomStream(13),
-        transport=transport,
+@pytest.fixture(scope="module")
+def inline_reference(golden):
+    """Inline runs of every reference scenario, computed once per session.
+
+    These are the streams every other transport is compared against
+    bit for bit.
+    """
+    scale = reference_scale(golden)
+    reference = {
+        workload: run_flow("inline", scale, single_workload_scenario(workload, scale))
+        for workload in REFERENCE_WORKLOADS
+    }
+    reference["churn"] = run_flow(
+        "inline", scale, churn_scenario(scale), verify_membership=True
     )
-    system.bootstrap()
-    generator = RandomKeyGenerator(
-        width=config.key_bits,
-        base_bits=8,
-        rng=RandomStream(14),
-        base_weights=workload_c().weights,
-    )
-    split_sequence = []
-    for _ in range(120):
-        key = generator.generate()
-        group, owner = system.find_active_group(key)
-        if group.depth >= config.effective_max_depth:
-            continue
-        system.server(owner).set_group_rate(group, 2 * config.server_capacity)
-        outcome = system.split_server(owner)
-        if outcome is not None:
-            split_sequence.append(
-                [
-                    outcome.parent_server,
-                    outcome.group.wildcard(),
-                    outcome.child_server,
-                    outcome.shed,
-                ]
-            )
-    return system, split_sequence, config
+    return reference
 
 
-def _assert_matches_depth_search_golden(system, split_sequence, config, golden):
-    expected = golden["depth_search"]
-    assert split_sequence == expected["split_sequence"]
-    client = system.make_client("golden-client")
-    probe_gen = RandomKeyGenerator(
-        width=config.key_bits,
-        base_bits=8,
-        rng=RandomStream(99),
-        base_weights=workload_b().weights,
-    )
-    for record in expected["lookups"]:
-        result = client.find_group(probe_gen.generate(), use_cache=False)
-        assert result.key.value == record["key"]
-        assert result.group.depth == record["depth"]
-        assert result.server == record["server"]
-        assert result.probes == record["probes"]
-        assert result.messages == record["messages"]
-        assert list(result.probe_depths) == record["probe_depths"]
-    snapshot = {k: round(v, 6) for k, v in sorted(system.messages.snapshot().items())}
-    assert snapshot == expected["message_snapshot"]
+class TestGoldenEquivalence:
+    """Every exact-equivalence transport against the seed capture."""
+
+    @pytest.mark.parametrize("kind", EXACT_KINDS)
+    def test_depth_search_trace_matches_seed(self, kind, golden):
+        system, splits, config = build_traced_system(make_transport(kind))
+        try:
+            assert_depth_search_matches_golden(system, splits, config, golden)
+        finally:
+            system.transport.close()
+
+    @pytest.mark.parametrize("kind", EXACT_KINDS)
+    def test_flow_simulation_matches_seed_metrics(self, kind, golden):
+        scale = reference_scale(golden)
+        result = run_flow(kind, scale, scale.scenario())
+        assert_matches_golden_flow(result, golden)
 
 
-class TestInlineEquivalence:
-    def test_depth_search_trace_matches_seed(self, golden):
-        system, splits, config = _build_traced_system(InlineTransport())
-        _assert_matches_depth_search_golden(system, splits, config, golden)
+class TestReferenceWorkloadEquivalence:
+    """PeriodSample streams must be bit-identical to inline."""
 
-    def test_flow_simulation_matches_seed_metrics(self, golden):
-        scale = ExperimentScale.scaled(
-            factor=golden["scale"]["factor"],
-            phase_periods=golden["scale"]["phase_periods"],
-        )
-        result = FlowSimulator(
-            config=scale.config(), params=scale.params(), scenario=scale.scenario()
-        ).run()
-        assert result.total_splits == golden["total_splits"]
-        assert result.total_merges == golden["total_merges"]
-        assert result.final_active_groups == golden["final_active_groups"]
-        assert len(result.metrics.samples) == len(golden["samples"])
-        for sample, expected in zip(result.metrics.samples, golden["samples"]):
-            assert sample.workload == expected["workload"]
-            assert sample.splits == expected["splits"]
-            assert sample.merges == expected["merges"]
-            assert sample.max_load_percent == pytest.approx(
-                expected["max_load_percent"], abs=1e-5
-            )
-            assert sample.messages_per_server_per_second == pytest.approx(
-                expected["messages_per_server_per_second"], abs=1e-5
-            )
-            for category, rate in expected["breakdown"].items():
-                assert sample.message_breakdown[category] == pytest.approx(
-                    rate, abs=1e-5
-                )
+    @pytest.mark.parametrize("kind", [k for k in EXACT_KINDS if k != "inline"])
+    @pytest.mark.parametrize("workload", REFERENCE_WORKLOADS)
+    def test_reference_workload_bit_identical(
+        self, kind, workload, golden, inline_reference
+    ):
+        scale = reference_scale(golden)
+        result = run_flow(kind, scale, single_workload_scenario(workload, scale))
+        assert_samples_bit_identical(result, inline_reference[workload])
+
+    @pytest.mark.parametrize("kind", [k for k in CHURN_KINDS if k != "inline"])
+    def test_churn_scenario_bit_identical(self, kind, golden, inline_reference):
+        """Period-boundary churn (joins + failures) must not separate the
+        clock-less transports: same membership events, same reassignments,
+        same drops, same loads — sample for sample."""
+        scale = reference_scale(golden)
+        result = run_flow(kind, scale, churn_scenario(scale), verify_membership=True)
+        churn_ref = inline_reference["churn"]
+        assert sum(s.server_joins for s in churn_ref.metrics.samples) > 0
+        assert sum(s.server_failures for s in churn_ref.metrics.samples) > 0
+        assert_samples_bit_identical(result, churn_ref)
 
 
 class TestBatchingEquivalence:
-    def test_depth_search_trace_matches_seed(self, golden):
-        """Route coalescing must not change a single probe, reply or charge."""
-        system, splits, config = _build_traced_system(BatchingTransport())
-        _assert_matches_depth_search_golden(system, splits, config, golden)
-        assert system.transport.route_cache_hits > 0  # the cache actually worked
-
-    def test_flow_simulation_matches_inline(self, golden):
-        scale = ExperimentScale.scaled(
-            factor=golden["scale"]["factor"],
-            phase_periods=golden["scale"]["phase_periods"],
-        )
-        result = FlowSimulator(
-            config=scale.config(),
-            params=scale.params(transport="batching"),
-            scenario=scale.scenario(),
-        ).run()
-        assert result.total_splits == golden["total_splits"]
-        assert result.total_merges == golden["total_merges"]
-        assert result.final_active_groups == golden["final_active_groups"]
-
-    def test_load_reports_flush_before_consolidation(self):
-        """Batching defers LOAD_REPORT delivery, but the period's batch window
-        closes inside exchange_load_reports — consolidation must observe the
-        reports exactly as under inline dispatch."""
-        config = ClashConfig.small_scale()
-        results = []
-        for transport in (InlineTransport(), BatchingTransport()):
-            system = ClashSystem(
-                config,
-                [f"s{index}" for index in range(8)],
-                rng=RandomStream(5),
-                transport=transport,
-            )
-            system.bootstrap()
-            generator = RandomKeyGenerator(
-                width=config.key_bits,
-                base_bits=4,
-                rng=RandomStream(6),
-                base_weights=workload_c(4).weights,
-            )
-            for _ in range(30):
-                key = generator.generate()
-                group, owner = system.find_active_group(key)
-                if group.depth >= config.effective_max_depth:
-                    continue
-                system.server(owner).set_group_rate(group, 2 * config.server_capacity)
-                system.split_server(owner)
-            # Cool everything down so consolidation has work to do, then run
-            # a full load check (reports + merges) at the period boundary.
-            for server in system.servers().values():
-                server.reset_interval()
-                for group in server.active_groups():
-                    server.set_group_rate(group, 0.0)
-            report = system.run_load_check()
-            system.verify_invariants()
-            results.append(
-                (
-                    report.merge_count,
-                    sorted(group.wildcard() for group in system.active_groups()),
-                    {k: round(v, 9) for k, v in system.messages.snapshot().items()},
-                )
-            )
-        assert results[0] == results[1]
+    def test_route_cache_actually_engages(self, golden):
+        """Route coalescing must not change a single probe, reply or charge —
+        while demonstrably serving resolutions from the cache."""
+        system, splits, config = build_traced_system(BatchingTransport())
+        assert_depth_search_matches_golden(system, splits, config, golden)
+        assert system.transport.route_cache_hits > 0
 
 
 class TestEventTransportIntegration:

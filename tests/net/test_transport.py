@@ -4,7 +4,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.net import build_transport
+from repro.net import TRANSPORT_KINDS, TRANSPORTS, build_transport, transport_spec
+from repro.net.asyncio_transport import AsyncTransport
 from repro.net.batching import BatchingTransport
 from repro.net.envelope import DhtAddress, Envelope
 from repro.net.event import EventTransport
@@ -15,7 +16,7 @@ from repro.net.latency import (
     UniformLatency,
     ZeroLatency,
 )
-from repro.net.transport import TransportError
+from repro.net.transport import DeliveryFailed, TransportError
 from repro.sim.engine import SimulationEngine
 from repro.util.rng import RandomStream
 
@@ -189,6 +190,23 @@ class TestEventTransport:
         assert transport.dropped_messages == 1
         assert [e.payload for e in survivor.received] == [2]
 
+    def test_request_to_endpoint_unbound_mid_flight_raises_delivery_failed(self):
+        """The PR 3 follow-up: a request whose destination fails while the
+        request is travelling is cancelled with a *typed* error and counted,
+        instead of a bare TransportError aborting the run."""
+        engine = SimulationEngine()
+        transport = EventTransport(engine=engine, latency=ConstantLatency(1.0))
+        transport.bind("doomed", _Recorder(reply="never"))
+        engine.schedule_at(0.5, lambda now: transport.unbind("doomed"))
+        with pytest.raises(DeliveryFailed) as failure:
+            transport.request(
+                Envelope(source="cli", destination="doomed", payload="req")
+            )
+        assert failure.value.destination == "doomed"
+        assert transport.dropped_messages == 1
+        # Only the forward leg was travelled; no reply-leg sample exists.
+        assert transport.drain_latency_samples() == [pytest.approx(1.0)]
+
     def test_per_hop_latency_prices_dht_routes(self):
         engine = SimulationEngine()
         transport = EventTransport(
@@ -310,10 +328,35 @@ class TestBuildTransport:
         assert isinstance(build_transport("inline"), InlineTransport)
         assert isinstance(build_transport("batching"), BatchingTransport)
         assert isinstance(build_transport("event"), EventTransport)
+        built = build_transport("async")
+        assert isinstance(built, AsyncTransport)
+        built.close()
+
+    def test_registry_is_the_single_source_of_truth(self):
+        """Every enumeration derives from net.TRANSPORTS."""
+        assert TRANSPORT_KINDS == tuple(TRANSPORTS)
+        assert set(TRANSPORT_KINDS) == {"inline", "event", "batching", "async"}
+        for kind, spec in TRANSPORTS.items():
+            assert spec.kind == kind
+            assert transport_spec(kind) is spec
+            built = spec.factory(engine=None, latency=None, ready_rng=None)
+            try:
+                assert built.endpoints() == []
+            finally:
+                built.close()
+        # The equivalence contracts the golden harness relies on.
+        assert TRANSPORTS["inline"].exact_equivalence
+        assert TRANSPORTS["async"].exact_equivalence
+        assert TRANSPORTS["async"].churn_equivalence
+        assert not TRANSPORTS["event"].churn_equivalence
+        assert TRANSPORTS["event"].needs_engine
+        assert not TRANSPORTS["async"].needs_engine
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError):
             build_transport("carrier-pigeon")
+        with pytest.raises(ValueError):
+            transport_spec("carrier-pigeon")
 
     def test_event_latency_selection(self):
         constant = build_transport("event", link_latency=0.5)

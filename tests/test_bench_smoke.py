@@ -41,6 +41,16 @@ def test_every_benchmark_module_imports_cleanly():
 
 
 @pytest.mark.bench_smoke
+def test_tiny_async_benchmark_config_executes():
+    """One miniature async-vs-inline run of the bench_async workload."""
+    bench = _import_from_path(BENCH_DIR / "bench_async.py")
+
+    inline_result, _ = bench._timed_run("inline", factor=50, phase_periods=2)
+    async_result, _ = bench._timed_run("async", factor=50, phase_periods=2)
+    bench._assert_streams_identical(async_result, inline_result)
+
+
+@pytest.mark.bench_smoke
 def test_tiny_depth_search_benchmark_config_executes():
     """One miniature run of the depth-search benchmark workload."""
     bench = _import_from_path(BENCH_DIR / "bench_depth_search.py")
