@@ -8,7 +8,7 @@ PYTEST := PYTHONPATH=src python -m pytest
 # coverage grows, never lower it to admit a regression.
 COVERAGE_FLOOR := 90
 
-.PHONY: check lint test coverage bench-smoke bench bench-async bench-check bench-baseline
+.PHONY: check lint test coverage bench-smoke bench bench-async bench-sharded bench-check bench-baseline
 
 check: lint test
 
@@ -46,6 +46,12 @@ bench:
 # the scaled reference workload (asserts bit-identical metrics as it goes).
 bench-async:
 	$(PYTEST) -q benchmarks/bench_async.py
+
+# Wall-clock + load-balance comparison of the sharded ring federation
+# (shards 1/2/4/8) against the single-ring seed; asserts that shards=1 is
+# bit-identical to a run without the knob.
+bench-sharded:
+	$(PYTEST) -q benchmarks/bench_sharded.py
 
 # Regression gate: re-run the reference workloads and fail loudly on any
 # metric drift or a >25% wall-clock regression against BENCH_BASELINE.json.

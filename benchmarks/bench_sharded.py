@@ -1,0 +1,117 @@
+"""Benchmark — the sharded ring federation against the single-ring seed.
+
+Runs the ``scaled(factor=4)`` reference workload (the period-engine hot path
+``make bench-check`` pins) over shard counts 1, 2, 4 and 8 on the inline
+transport and reports wall-clock, peak load and cross-shard imbalance side
+by side.  Three properties are asserted:
+
+* **Seed equivalence** — the ``shards=1`` run routes through
+  :class:`~repro.dht.router.SingleRingRouter` and must emit a
+  ``PeriodSample`` stream bit-identical to a run that never names the knob
+  (sharding off ≡ one shard, so ``make bench-check`` stays byte-identical).
+* **Shard-locality invariants** — every sharded run must end with
+  ``verify_invariants`` green (group-on-its-shard, no cross-shard links).
+* **Bounded overhead** — routing through the federation is a dictionary
+  hop plus smaller per-shard rings; a sharded run must stay within
+  ``SHARDED_OVERHEAD_BUDGET`` × the single-ring wall-clock.
+
+Run via ``make bench-sharded`` (or ``pytest -q benchmarks/bench_sharded.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentScale
+from repro.experiments.shard_scaling import ShardPoint
+from repro.sim.simulator import FlowSimulator, SimulationResult
+
+SHARD_LINEUP = (1, 2, 4, 8)
+
+SHARDED_OVERHEAD_BUDGET = 1.5
+"""A sharded run may cost at most this multiple of the single-ring
+wall-clock.  Lookup walks shrink with per-shard ring size, so sharding
+usually *saves* time; the budget guards against a pathological regression in
+the routing tier, not a predicted cost."""
+
+
+def _timed_run(
+    shards: int, factor: int = 4, phase_periods: int = 4
+) -> tuple[SimulationResult, float]:
+    scale = dataclasses.replace(
+        ExperimentScale.scaled(factor=factor, phase_periods=phase_periods),
+        shards=shards,
+    )
+    simulator = FlowSimulator(
+        config=scale.config(), params=scale.params(), scenario=scale.scenario()
+    )
+    start = time.perf_counter()
+    try:
+        result = simulator.run()
+        elapsed = time.perf_counter() - start
+        simulator.system.verify_invariants()
+    finally:
+        simulator.transport.close()
+    return result, elapsed
+
+
+def test_sharded_federation_wallclock_and_equivalence(benchmark):
+    def run_lineup():
+        runs = {shards: _timed_run(shards) for shards in SHARD_LINEUP}
+        # The control: the same scale with the shards knob never mentioned.
+        scale = ExperimentScale.scaled(factor=4, phase_periods=4)
+        simulator = FlowSimulator(
+            config=scale.config(), params=scale.params(), scenario=scale.scenario()
+        )
+        try:
+            runs["default"] = (simulator.run(), 0.0)
+        finally:
+            simulator.transport.close()
+        return runs
+
+    runs = benchmark.pedantic(run_lineup, rounds=1, iterations=1)
+    default_result, _ = runs.pop("default")
+    single_result, single_time = runs[1]
+    print()
+    print(
+        format_table(
+            [
+                "shards",
+                "wall-clock (s)",
+                "vs 1 shard",
+                "peak load %",
+                "imbalance",
+                "splits",
+                "merges",
+            ],
+            [
+                [
+                    shards,
+                    f"{elapsed:.3f}",
+                    f"{elapsed / single_time:.2f}x",
+                    result.metrics.overall_peak_load(),
+                    # ShardPoint owns the imbalance aggregation so the
+                    # benchmark table and the sweep report cannot diverge.
+                    ShardPoint(
+                        shards=shards, join_rate=0.0, fail_rate=0.0, result=result
+                    ).mean_imbalance,
+                    result.total_splits,
+                    result.total_merges,
+                ]
+                for shards, (result, elapsed) in runs.items()
+            ],
+        )
+    )
+    # shards=1 is the seed, bit for bit.
+    differences = single_result.diff(default_result)
+    assert not differences, "; ".join(differences)
+    for shards, (result, elapsed) in runs.items():
+        if shards == 1:
+            continue
+        assert all(s.shard_count == shards for s in result.metrics.samples)
+        assert elapsed <= single_time * SHARDED_OVERHEAD_BUDGET, (
+            f"{shards}-shard run took {elapsed:.3f}s vs single-ring "
+            f"{single_time:.3f}s (> {SHARDED_OVERHEAD_BUDGET}x budget)"
+        )

@@ -39,6 +39,12 @@ from repro.experiments.reporting import (
     series_to_csv,
 )
 from repro.experiments.runner import ExperimentScale
+from repro.experiments.shard_scaling import (
+    DEFAULT_CHURN_VARIANTS,
+    DEFAULT_SHARD_COUNTS,
+    render_shard_scaling,
+    run_shard_scaling,
+)
 from repro.net import TRANSPORT_KINDS, TRANSPORTS
 
 __all__ = ["main", "build_parser"]
@@ -52,9 +58,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "figure",
-        choices=["fig1", "fig3", "fig4", "fig5", "churn", "all"],
+        choices=["fig1", "fig3", "fig4", "fig5", "churn", "shards", "all"],
         help="which figure to regenerate ('fig1' covers Figures 1 and 2; "
-        "'churn' is the beyond-the-paper membership-churn sweep)",
+        "'churn' and 'shards' are the beyond-the-paper membership-churn and "
+        "shard-scaling sweeps)",
     )
     parser.add_argument(
         "--output-dir",
@@ -117,6 +124,17 @@ def build_parser() -> argparse.ArgumentParser:
         "explicit value pins a single sweep point)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="number of Chord ring shards the key space is partitioned "
+        "across (power of two; default: 1 = the paper's single global ring; "
+        "for the 'shards' command an explicit value pins a single sweep "
+        "point instead of sweeping "
+        + "/".join(str(count) for count in DEFAULT_SHARD_COUNTS)
+        + ")",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="only write files, do not print the reports to stdout",
@@ -151,6 +169,7 @@ def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
         link_latency=args.link_latency,
         join_rate=args.join_rate if args.join_rate is not None else 0.0,
         fail_rate=args.fail_rate if args.fail_rate is not None else 0.0,
+        shards=args.shards if args.shards is not None else 1,
     )
 
 
@@ -219,12 +238,31 @@ def _run_churn(args: argparse.Namespace) -> list[pathlib.Path]:
     return [_write(args.output_dir, "churn.txt", render_churn_sweep(result), args.quiet)]
 
 
+def _run_shards(args: argparse.Namespace) -> list[pathlib.Path]:
+    scale = _scale_from_args(args)
+    # An explicit --shards (any value, including 1) pins a single sweep
+    # point; otherwise the default shard-count ladder is swept.
+    counts = (args.shards,) if args.shards is not None else DEFAULT_SHARD_COUNTS
+    # Explicit churn knobs pin the churn variants too (mirroring 'churn');
+    # the scale already carries the parsed rates, 0.0 for whichever was
+    # omitted.
+    if args.join_rate is not None or args.fail_rate is not None:
+        churn_rates = ((scale.join_rate, scale.fail_rate),)
+    else:
+        churn_rates = DEFAULT_CHURN_VARIANTS
+    result = run_shard_scaling(scale, shard_counts=counts, churn_rates=churn_rates)
+    return [
+        _write(args.output_dir, "shard_scaling.txt", render_shard_scaling(result), args.quiet)
+    ]
+
+
 _COMMANDS: dict[str, Callable[[argparse.Namespace], list[pathlib.Path]]] = {
     "fig1": _run_fig1,
     "fig3": _run_fig3,
     "fig4": _run_fig4,
     "fig5": _run_fig5,
     "churn": _run_churn,
+    "shards": _run_shards,
 }
 
 

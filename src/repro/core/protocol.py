@@ -1,8 +1,10 @@
 """The CLASH redirection layer: servers + Chord ring + message accounting.
 
-:class:`ClashSystem` is the package's main entry point.  It owns the Chord
-ring, the :class:`~repro.core.server.ClashServer` instances, and the global
-message counters, and it mediates every inter-node interaction:
+:class:`ClashSystem` is the package's main entry point.  It owns the routing
+tier (a :class:`~repro.dht.router.RingRouter` over one Chord ring, or a
+sharded federation of them), the :class:`~repro.core.server.ClashServer`
+instances, and the global message counters, and it mediates every inter-node
+interaction:
 
 * routing ``ACCEPT_OBJECT`` probes from clients to the DHT-resolved server,
 * orchestrating splits (including the "right child maps back to myself, so
@@ -43,13 +45,14 @@ from repro.core.server import ClashServer
 from repro.core.server_table import SELF_PARENT
 from repro.dht.hashspace import HashSpace
 from repro.dht.ring import ChordRing
+from repro.dht.router import RingRouter, build_router
 from repro.keys.identifier import IdentifierKey
 from repro.keys.keygroup import KeyGroup
 from repro.net.envelope import DhtAddress, Envelope
 from repro.net.inline import InlineTransport
 from repro.net.transport import DeliveryFailed, Transport, TransportError
 from repro.util.rng import RandomStream
-from repro.util.validation import check_positive, check_type
+from repro.util.validation import check_positive, check_power_of_two, check_type
 
 __all__ = ["AwaitableHandler", "ClashSystem", "SplitOutcome", "MergeOutcome"]
 
@@ -169,7 +172,7 @@ class _LoadCheckReport:
 
 
 class ClashSystem:
-    """A complete CLASH deployment over a Chord ring.
+    """A complete CLASH deployment over one Chord ring or a sharded federation.
 
     Args:
         config: Protocol configuration.
@@ -184,6 +187,15 @@ class ClashSystem:
         transport: The transport every inter-node envelope travels through
             (defaults to a fresh :class:`~repro.net.inline.InlineTransport`,
             which preserves direct synchronous dispatch).
+        shards: Number of independent Chord rings the key space is
+            partitioned across (power of two).  ``1`` — the default — routes
+            through a :class:`~repro.dht.router.SingleRingRouter` and is
+            bit-identical to the pre-sharding behaviour; higher values
+            prefix-partition keys and servers across a
+            :class:`~repro.dht.router.ShardedRingRouter` federation.
+            ``log2(shards)`` may not exceed ``config.initial_depth``: root
+            groups and all their descendants must be shard-local so that
+            splits, merges and parent links never cross shards.
     """
 
     def __init__(
@@ -194,28 +206,42 @@ class ClashSystem:
         split_policy_factory=None,
         merge_policy_factory=None,
         transport: Transport | None = None,
+        shards: int = 1,
     ) -> None:
         check_type("config", config, ClashConfig)
+        check_power_of_two("shards", shards)
         if not server_names:
             raise ValueError("at least one server is required")
         if len(set(server_names)) != len(server_names):
             raise ValueError("server names must be unique")
+        shard_bits = shards.bit_length() - 1
+        if shard_bits > config.initial_depth:
+            raise ValueError(
+                f"{shards} shards partition on {shard_bits} key bits, which "
+                f"exceeds initial_depth={config.initial_depth}; root groups "
+                "must be shard-local so splits and merges never cross shards"
+            )
+        if shards > len(server_names):
+            raise ValueError(
+                f"cannot spread {len(server_names)} servers over {shards} shards; "
+                "every shard needs at least one server"
+            )
         self._config = config
         self._split_policy_factory = split_policy_factory
         self._merge_policy_factory = merge_policy_factory
         self._space = HashSpace(bits=config.hash_bits)
-        self._ring = ChordRing(space=self._space)
+        self._router = build_router(shards, space=self._space, key_bits=config.key_bits)
         used_ids: set[int] = set()
         for name in server_names:
             if rng is None:
-                self._ring.add_node(name)
+                self._router.add_server(name)
             else:
                 node_id = rng.randbits(config.hash_bits)
                 while node_id in used_ids:
                     node_id = rng.randbits(config.hash_bits)
                 used_ids.add(node_id)
-                self._ring.add_node(name, node_id=node_id)
-        self._ring.stabilise()
+                self._router.add_server(name, node_id=node_id)
+        self._router.stabilise()
         self._servers: dict[str, ClashServer] = {}
         for name in server_names:
             self._servers[name] = self._make_server(name)
@@ -231,10 +257,24 @@ class ClashSystem:
         self._retired_assignments: list[tuple[KeyGroup, str]] = []
         self._messages = MessageStats()
         self._bootstrapped = False
+        # Overload-set tracking: servers push a load-change notification the
+        # moment any load input of theirs mutates, and run_load_check probes
+        # only the notified (dirty) servers, reusing cached overload /
+        # underload verdicts for everyone else.  Every server starts dirty.
+        self._dirty_load_servers: set[str] = set(self._servers)
+        self._load_flags: dict[str, tuple[bool, bool]] = {}
+        #: Fresh overload/underload probes performed by load checks (telemetry
+        #: for the steady-state tests; cached verdicts are not counted).
+        self.load_probes = 0
+        #: When True, every load check probes every server (disables the
+        #: dirty-set shortcut; the equivalence tests compare both modes).
+        self.force_full_load_scan = False
         self._transport = transport if transport is not None else InlineTransport()
-        self._transport.set_resolver(self._ring.lookup_key)
+        self._transport.set_resolver(self._router.lookup)
         for name, server in self._servers.items():
-            self._transport.bind(name, self._make_endpoint(server))
+            self._transport.bind(
+                name, self._make_endpoint(server), shard=self._router.server_shard(name)
+            )
 
     def _make_server(self, name: str) -> ClashServer:
         """Construct one server with this deployment's policy factories."""
@@ -244,12 +284,18 @@ class ClashSystem:
         merge_policy: MergePolicy | None = (
             self._merge_policy_factory() if self._merge_policy_factory else None
         )
-        return ClashServer(
+        server = ClashServer(
             name=name,
             config=self._config,
             split_policy=split_policy,
             merge_policy=merge_policy,
         )
+        server.set_load_listener(self._mark_server_load_dirty)
+        return server
+
+    def _mark_server_load_dirty(self, name: str) -> None:
+        """A server's load inputs changed; its cached verdicts are stale."""
+        self._dirty_load_servers.add(name)
 
     def _make_endpoint(self, server: ClashServer) -> AwaitableHandler:
         """The transport-facing handler for one server.
@@ -321,8 +367,27 @@ class ClashSystem:
 
     @property
     def ring(self) -> ChordRing:
-        """The underlying Chord ring."""
-        return self._ring
+        """The underlying Chord ring (single-ring deployments only).
+
+        Sharded deployments have no single ring; use :attr:`router` (and its
+        ``rings()``) instead — accessing this property then raises
+        :class:`AttributeError`.
+        """
+        return self._router.ring
+
+    @property
+    def router(self) -> RingRouter:
+        """The routing tier every DHT resolution goes through."""
+        return self._router
+
+    @property
+    def shard_count(self) -> int:
+        """Number of independent rings the key space is partitioned across."""
+        return self._router.shard_count
+
+    def can_remove_server(self, name: str) -> bool:
+        """True if ``name`` may fail without leaving a shard serverless."""
+        return name in self._servers and self._router.can_remove(name)
 
     @property
     def messages(self) -> MessageStats:
@@ -462,9 +527,16 @@ class ClashSystem:
                 f"initial depth must be in [{self._config.min_depth}, "
                 f"{self._config.key_bits}], got {depth}"
             )
+        shard_bits = self._router.shard_count.bit_length() - 1
+        if shard_bits > depth:
+            raise ValueError(
+                f"cannot bootstrap at depth {depth} with {self._router.shard_count} "
+                f"shards: root groups must be at least {shard_bits} deep to be "
+                "shard-local"
+            )
         for prefix in range(1 << depth):
             group = KeyGroup(prefix=prefix, depth=depth, width=self._config.key_bits)
-            owner = self._ring.owner_of(self._ring.hash_function.hash_key(group.virtual_key))
+            owner = self._router.owner_of_key(group.virtual_key)
             self._servers[owner].assign_root_group(group)
             self._register_group(group, owner)
         self._bootstrapped = True
@@ -765,12 +837,35 @@ class ClashSystem:
     # Periodic load check
     # ------------------------------------------------------------------ #
 
+    def _load_verdicts(self, name: str, server: ClashServer) -> tuple[bool, bool]:
+        """The (overloaded, underloaded) verdicts for one server.
+
+        Served from the cached flags unless the server is in the dirty set —
+        i.e. some load input of its changed since the verdicts were computed.
+        A probed server leaves the dirty set; any mutation after the probe
+        (its own split, a transfer landing on it) re-dirties it through the
+        load listener, so a verdict read later in the same pass is refreshed.
+        """
+        if (
+            self.force_full_load_scan
+            or name in self._dirty_load_servers
+            or name not in self._load_flags
+        ):
+            verdicts = (server.is_overloaded(), server.is_underloaded())
+            self._load_flags[name] = verdicts
+            self._dirty_load_servers.discard(name)
+            self.load_probes += 1
+        return self._load_flags[name]
+
     def run_load_check(self, max_splits_per_server: int = 4) -> _LoadCheckReport:
         """One system-wide LOAD_CHECK_PERIOD pass: split hot servers, merge cold ones.
 
         Overloaded servers split repeatedly (up to ``max_splits_per_server``)
         until they drop below the overload threshold; under-loaded servers
         exchange load reports with parents and consolidate cold sibling pairs.
+        In steady state only the servers whose load changed since the last
+        pass are probed (see :meth:`_load_verdicts`); everyone else's cached
+        overload/underload verdicts are still exact.
         """
         report = _LoadCheckReport()
         # Both passes iterate a snapshot and re-check membership: a churn
@@ -778,6 +873,8 @@ class ClashSystem:
         # remove servers while the pass is running.
         for name, server in list(self._servers.items()):
             if name not in self._servers:
+                continue
+            if not self._load_verdicts(name, server)[0]:
                 continue
             attempts = 0
             # Membership is re-checked every iteration: the server being
@@ -801,7 +898,7 @@ class ClashSystem:
             # Consolidation only runs on servers that are themselves
             # under-loaded (the paper's "under conditions of under-load");
             # merging into a busy server would immediately re-trigger a split.
-            if server.is_underloaded():
+            if self._load_verdicts(name, server)[1]:
                 report.merges.extend(self.consolidate_server(name))
         report.touched_groups |= self.drain_touched_groups()
         report.retired_assignments.extend(self.drain_retired_assignments())
@@ -820,9 +917,7 @@ class ClashSystem:
         cannot survive, exactly as in :meth:`handle_server_failure` — on the
         server its virtual key hashes to in the post-failure ring.
         """
-        new_owner = self._ring.owner_of(
-            self._ring.hash_function.hash_key(group.virtual_key)
-        )
+        new_owner = self._router.owner_of_key(group.virtual_key)
         self._servers[new_owner].accept_keygroup(
             AcceptKeyGroup(
                 group=group,
@@ -871,17 +966,16 @@ class ClashSystem:
         if joiner in self._servers:
             raise ValueError(f"server {joiner!r} is already part of the deployment")
         server = self._make_server(joiner)
-        self._ring.add_node(joiner, node_id=node_id)
-        self._ring.stabilise()
+        shard = self._router.add_server(joiner, node_id=node_id)
+        self._router.stabilise()
         self._servers[joiner] = server
-        self._transport.bind(joiner, self._make_endpoint(server))
+        self._transport.bind(joiner, self._make_endpoint(server), shard=shard)
         # Ring membership changed: cached DHT routes are stale.
         self._transport.invalidate_routes()
-        hash_function = self._ring.hash_function
         moving = [
             (group, owner)
             for group, owner in sorted(self._group_owner.items())
-            if self._ring.owner_of(hash_function.hash_key(group.virtual_key)) == joiner
+            if self._router.owner_of_key(group.virtual_key) == joiner
             and owner != joiner
         ]
         handed_off: dict[KeyGroup, str] = {}
@@ -977,6 +1071,13 @@ class ClashSystem:
         """
         if failed not in self._servers:
             raise KeyError(f"no server named {failed!r}")
+        if not self._router.can_remove(failed):
+            # Checked before any state is touched so a refused removal leaves
+            # the deployment fully intact.
+            raise ValueError(
+                f"cannot fail {failed!r}: it is the last server of its shard "
+                "and its key range would be left unowned"
+            )
         failed_server = self._servers[failed]
         orphaned = list(failed_server.active_groups())
         # Remember, for each orphaned group, which surviving server (if any)
@@ -995,13 +1096,14 @@ class ClashSystem:
                         surviving_parent[group] = name
                         break
         del self._servers[failed]
+        self._dirty_load_servers.discard(failed)
+        self._load_flags.pop(failed, None)
         self._transport.unbind(failed)
-        self._ring.remove_node(failed)
-        self._ring.stabilise()
+        self._router.remove_server(failed)
         reassigned: dict[KeyGroup, str] = {}
         for group in orphaned:
             self._unregister_group(group)
-            new_owner = self._ring.owner_of(self._ring.hash_function.hash_key(group.virtual_key))
+            new_owner = self._router.owner_of_key(group.virtual_key)
             parent_name = surviving_parent.get(group)
             transfer = AcceptKeyGroup(
                 group=group, parent_server=parent_name if parent_name else new_owner
@@ -1024,9 +1126,7 @@ class ClashSystem:
                     # unconditional transfer + ack charge below covers that
                     # restart.
                     self._messages.add(MessageCategory.SPLIT, 1)
-                    new_owner = self._ring.owner_of(
-                        self._ring.hash_function.hash_key(group.virtual_key)
-                    )
+                    new_owner = self._router.owner_of_key(group.virtual_key)
                     self._servers[new_owner].assign_root_group(group)
                 else:
                     # The parent's bookkeeping must name the new child owner
@@ -1081,6 +1181,50 @@ class ClashSystem:
                 assert self._group_owner.get(group) == name, (
                     f"registry does not record {name} as owner of {group}"
                 )
+        if self._router.shard_count > 1:
+            self.verify_shard_invariants()
+
+    def verify_shard_invariants(self) -> None:
+        """Assert the additional invariants of a sharded deployment.
+
+        1. Every active key group is registered on exactly one shard: its
+           owner belongs to the shard that owns the group's virtual key (the
+           shard a lookup for any of the group's keys routes to).
+        2. No consolidation linkage crosses shards: each inactive parent
+           entry's recorded right child, and each active entry's parent
+           server, live on the entry holder's own shard.  This is what keeps
+           split/merge/handoff traffic shard-local.
+        """
+        router = self._router
+        for group, owner in self._group_owner.items():
+            key_shard = router.shard_of_key(group.virtual_key)
+            owner_shard = router.server_shard(owner)
+            assert owner_shard == key_shard, (
+                f"group {group} belongs to shard {key_shard} but its owner "
+                f"{owner} lives on shard {owner_shard}"
+            )
+        for name, server in self._servers.items():
+            holder_shard = router.server_shard(name)
+            for entry in server.table.entries():
+                child = entry.right_child_id
+                if not entry.active and child is not None and child in self._servers:
+                    assert router.server_shard(child) == holder_shard, (
+                        f"{name} (shard {holder_shard}) records right child "
+                        f"{child} of {entry.group} on shard "
+                        f"{router.server_shard(child)}: cross-shard parent link"
+                    )
+                parent = entry.parent_id
+                if (
+                    entry.active
+                    and parent is not None
+                    and parent != SELF_PARENT
+                    and parent in self._servers
+                ):
+                    assert router.server_shard(parent) == holder_shard, (
+                        f"{name} (shard {holder_shard}) reports {entry.group} "
+                        f"to parent server {parent} on shard "
+                        f"{router.server_shard(parent)}: cross-shard parent link"
+                    )
 
     def describe(self) -> dict[str, object]:
         """A summary snapshot of the deployment (for examples and debugging)."""

@@ -107,6 +107,13 @@ class ClashServer:
         self._total_load_cache = 0.0
         self._reports_stamp = -1
         self._reports_cache: list[tuple[str, LoadReport]] = []
+        # Load-change listener (overload-set tracking).  The owning
+        # ClashSystem installs a callback here; every mutation of a load
+        # input -- measured rates / query overrides, the table's active
+        # groups, the query store -- pushes this server's name into the
+        # system's dirty set, so steady-state load checks probe only the
+        # servers that actually changed.
+        self._load_listener = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -137,6 +144,15 @@ class ClashServer:
         """The load model used for overload / underload decisions."""
         return self._load_model
 
+    def set_load_listener(self, listener) -> None:
+        """Install the callback invoked (with this server's name) whenever a
+        load input changes.  ``None`` disables notifications."""
+        self._load_listener = listener
+
+    def _notify_load_changed(self) -> None:
+        if self._load_listener is not None:
+            self._load_listener(self._name)
+
     def active_groups(self) -> list[KeyGroup]:
         """The key groups this server currently manages."""
         return self._table.active_groups()
@@ -154,7 +170,7 @@ class ClashServer:
         self._group_rates.clear()
         self._group_query_counts.clear()
         self._child_reports.clear()
-        self._rates_version += 1
+        self._touch_rates()
 
     def clear_child_reports(self) -> None:
         """Drop the child load reports without touching the measured rates.
@@ -179,7 +195,7 @@ class ClashServer:
         if self._group_query_counts.pop(group, None) is not None:
             removed = True
         if removed:
-            self._rates_version += 1
+            self._touch_rates()
 
     def set_group_rate(self, group: KeyGroup, rate: float) -> None:
         """Record the data rate observed for an active group this interval."""
@@ -188,7 +204,7 @@ class ClashServer:
         if group not in self._table or not self._table.entry(group).active:
             raise KeyError(f"{self._name} does not actively manage group {group}")
         self._group_rates[group] = rate
-        self._rates_version += 1
+        self._touch_rates()
 
     def add_group_rate(self, group: KeyGroup, rate: float) -> None:
         """Accumulate additional data rate onto an active group."""
@@ -209,7 +225,12 @@ class ClashServer:
         if group not in self._table or not self._table.entry(group).active:
             raise KeyError(f"{self._name} does not actively manage group {group}")
         self._group_query_counts[group] = count
+        self._touch_rates()
+
+    def _touch_rates(self) -> None:
+        """Invalidate the load cache after a rate/override mutation."""
         self._rates_version += 1
+        self._notify_load_changed()
 
     def _current_loads(self) -> dict[KeyGroup, GroupLoad]:
         """The cached per-group loads, recomputed only after a mutation.
@@ -271,6 +292,7 @@ class ClashServer:
         collapses past them.
         """
         self._table.add_entry(ServerTableEntry(group=group, parent_id=None))
+        self._notify_load_changed()
 
     def accept_keygroup(self, message: AcceptKeyGroup, queries: list[Query] | None = None) -> None:
         """Accept responsibility for a key group shed by an overloaded peer.
@@ -283,6 +305,7 @@ class ClashServer:
         )
         if queries:
             self._queries.add_all(queries)
+        self._notify_load_changed()
 
     def accept_keygroup_back(self, group: KeyGroup, queries: list[Query] | None = None) -> None:
         """Re-absorb a consolidated child group's state (parent side of a merge)."""
@@ -290,6 +313,7 @@ class ClashServer:
             self._queries.add_all(queries)
         self.merges_performed += 1
         self._table.record_consolidation(group)
+        self._notify_load_changed()
 
     def release_group(self, group: KeyGroup) -> list[Query]:
         """Give up an active group during consolidation (child side of a merge).
@@ -303,6 +327,7 @@ class ClashServer:
         queries = self._queries.extract_group(group)
         self._table.remove_entry(group)
         self._group_rates.pop(group, None)
+        self._notify_load_changed()
         return queries
 
     # ------------------------------------------------------------------ #
@@ -337,6 +362,7 @@ class ClashServer:
                 f"{self._name} does not manage a group containing key {query.key}"
             )
         self._queries.add(query)
+        self._notify_load_changed()
 
     # ------------------------------------------------------------------ #
     # Splitting (overload)
@@ -366,6 +392,7 @@ class ClashServer:
         # the remaining left child (the key space halves under a split).
         self._group_rates[left] = rate / 2.0
         self.splits_performed += 1
+        self._notify_load_changed()
         return left, right, migrated
 
     def undo_split(self, group: KeyGroup, queries: list[Query] | None = None) -> None:
@@ -382,6 +409,7 @@ class ClashServer:
         if queries:
             self._queries.add_all(queries)
         self.splits_performed -= 1
+        self._notify_load_changed()
 
     def perform_local_split(self, group: KeyGroup) -> tuple[KeyGroup, KeyGroup]:
         """Split ``group`` but keep both children on this server.
@@ -396,6 +424,7 @@ class ClashServer:
         self._group_rates[left] = rate / 2.0
         self._group_rates[right] = rate / 2.0
         self.splits_performed += 1
+        self._notify_load_changed()
         return left, right
 
     # ------------------------------------------------------------------ #

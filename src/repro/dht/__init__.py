@@ -10,6 +10,10 @@ equivalent substrate in Python.  It provides:
 * :class:`~repro.dht.ring.ChordRing` — the overlay: node join/leave,
   deterministic finger (re)building, and iterative ``find_successor`` lookup
   with per-hop accounting (the paper's O(log S) bound).
+* :class:`~repro.dht.router.RingRouter` — the routing tier above the
+  ring(s): :class:`~repro.dht.router.SingleRingRouter` wraps one global ring
+  (the paper's deployment), :class:`~repro.dht.router.ShardedRingRouter`
+  prefix-partitions the key space across independent rings.
 * :class:`~repro.dht.virtualservers.VirtualServerAllocator` — the
   "log S virtual servers per physical node" technique from Chord/CFS.
 * :class:`~repro.dht.replication.ReplicationManager` — successor-list object
@@ -24,6 +28,12 @@ from repro.dht.hashspace import HashSpace
 from repro.dht.node import ChordNode
 from repro.dht.replication import ReplicationManager
 from repro.dht.ring import ChordRing, LookupResult
+from repro.dht.router import (
+    RingRouter,
+    ShardedRingRouter,
+    SingleRingRouter,
+    build_router,
+)
 from repro.dht.virtualservers import PhysicalServer, VirtualServerAllocator
 
 __all__ = [
@@ -31,6 +41,10 @@ __all__ = [
     "ChordNode",
     "ChordRing",
     "LookupResult",
+    "RingRouter",
+    "SingleRingRouter",
+    "ShardedRingRouter",
+    "build_router",
     "VirtualServerAllocator",
     "PhysicalServer",
     "ReplicationManager",

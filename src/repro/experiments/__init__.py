@@ -9,6 +9,9 @@ One module per figure:
   virtual-stream lengths, with and without the 50,000 query clients.
 * :mod:`~repro.experiments.churn` — beyond the paper: Poisson membership
   churn swept against peak load and lookup depth.
+* :mod:`~repro.experiments.shard_scaling` — beyond the paper: the sharded
+  ring federation swept over shard counts, reporting per-shard peak load and
+  cross-shard imbalance with and without churn.
 
 Each driver returns a structured result object and can render it as the
 text tables/series recorded in EXPERIMENTS.md.  The drivers accept an
@@ -26,6 +29,11 @@ from repro.experiments.fig3 import Figure3Result, run_figure3
 from repro.experiments.fig4 import Figure4Result, run_figure4
 from repro.experiments.fig5 import Figure5Result, run_figure5
 from repro.experiments.runner import ExperimentScale, scaled_setup
+from repro.experiments.shard_scaling import (
+    ShardScalingResult,
+    render_shard_scaling,
+    run_shard_scaling,
+)
 from repro.experiments.reporting import (
     format_series,
     format_table,
@@ -40,6 +48,9 @@ __all__ = [
     "ChurnSweepResult",
     "run_churn_sweep",
     "render_churn_sweep",
+    "ShardScalingResult",
+    "run_shard_scaling",
+    "render_shard_scaling",
     "Figure3Result",
     "run_figure3",
     "Figure4Result",

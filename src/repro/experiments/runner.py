@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from repro.core.config import ClashConfig
 from repro.net import TRANSPORT_KINDS
 from repro.sim.simulator import SimulationParams
-from repro.util.validation import check_positive, check_type
+from repro.util.validation import check_positive, check_power_of_two, check_type
 from repro.workload.scenario import PhasedScenario, paper_scenario
 
 __all__ = ["ExperimentScale", "scaled_setup"]
@@ -54,6 +54,8 @@ class ExperimentScale:
             scenario phase (0 = no churn, the default).
         fail_rate: Poisson server-failure rate (events/sec) applied to every
             scenario phase (0 = no churn, the default).
+        shards: Number of independent Chord rings the key space is
+            partitioned across (power of two; 1 = the paper's single ring).
     """
 
     name: str
@@ -68,6 +70,7 @@ class ExperimentScale:
     link_latency: float = 0.0
     join_rate: float = 0.0
     fail_rate: float = 0.0
+    shards: int = 1
 
     def __post_init__(self) -> None:
         check_type("server_count", self.server_count, int)
@@ -96,6 +99,7 @@ class ExperimentScale:
                 raise ValueError(
                     f"{name} must be non-negative, got {getattr(self, name)}"
                 )
+        check_power_of_two("shards", self.shards)
 
     @classmethod
     def paper(cls, query_clients: bool = False) -> "ExperimentScale":
@@ -172,6 +176,7 @@ class ExperimentScale:
             "seed": self.seed,
             "transport": self.transport,
             "link_latency": self.link_latency,
+            "shards": self.shards,
         }
         values.update(overrides)
         return SimulationParams(**values)

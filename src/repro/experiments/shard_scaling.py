@@ -1,0 +1,231 @@
+"""Experiment — shard scaling: peak load, depth and overhead vs shard count.
+
+Extends the Figure 4 / Figure 5 evaluation beyond the paper: the same A → B
+→ C workload schedule runs over ring federations of 1, 2, 4 and 8 shards
+(:class:`~repro.dht.router.ShardedRingRouter`), with and without Poisson
+membership churn, and reports for each point
+
+* **peak server load** — the Figure 4 headline metric; sharding constrains
+  each key-space slice to its own server pool, so the interesting question
+  is how much balance headroom the partition costs;
+* **cross-shard imbalance** — peak-to-mean ratio of the per-shard aggregate
+  loads (1.0 = perfectly even federation), the new metric sharded runs add
+  to :class:`~repro.sim.metrics.PeriodSample`;
+* **lookup depth** — churn and sharding reassign groups without changing the
+  splitting tree, so depth drift here would indicate the protocol is
+  splitting to compensate for the partition;
+* **message overhead** — the Figure 5 metric (signalling messages per server
+  per second); per-shard rings are smaller, so DHT routing shortens while
+  the protocol traffic itself should be unchanged.
+
+The ``shards=1`` row is the control: it runs the
+:class:`~repro.dht.router.SingleRingRouter` and therefore reproduces the
+unsharded system bit for bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentScale
+from repro.sim.simulator import FlowSimulator, SimulationResult
+from repro.util.stats import mean
+from repro.util.validation import check_type
+
+__all__ = [
+    "DEFAULT_SHARD_COUNTS",
+    "DEFAULT_CHURN_VARIANTS",
+    "ShardPoint",
+    "ShardScalingResult",
+    "run_shard_scaling",
+    "render_shard_scaling",
+]
+
+DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
+"""Shard counts swept by default (powers of two; 1 = the unsharded control)."""
+
+DEFAULT_CHURN_VARIANTS = ((0.0, 0.0), (0.005, 0.005))
+"""The (join_rate, fail_rate) pairs (events/sec) each shard count runs at:
+a stable population and a symmetrically churning one."""
+
+
+@dataclass
+class ShardPoint:
+    """One point of the shard-scaling sweep.
+
+    Attributes:
+        shards: Number of ring shards the deployment routed across.
+        join_rate: Poisson server-join rate (events/sec) for every phase.
+        fail_rate: Poisson server-failure rate (events/sec) for every phase.
+        result: The full simulation result at this point.
+    """
+
+    shards: int
+    join_rate: float
+    fail_rate: float
+    result: SimulationResult
+
+    @property
+    def peak_load_percent(self) -> float:
+        """Highest per-server load seen at any point in the run."""
+        return self.result.metrics.overall_peak_load()
+
+    @property
+    def mean_shard_peak_percent(self) -> float:
+        """Mean (over periods and shards) of the per-shard peak loads.
+
+        For the unsharded control this is the mean per-period maximum load —
+        the single "shard" is the whole deployment.
+        """
+        samples = self.result.metrics.samples
+        per_period = [
+            mean(list(s.shard_peak_loads)) if s.shard_peak_loads else s.max_load_percent
+            for s in samples
+        ]
+        return mean(per_period)
+
+    @property
+    def mean_imbalance(self) -> float:
+        """Mean peak-to-mean ratio of per-shard aggregate loads (1.0 = even)."""
+        values = [
+            s.cross_shard_imbalance
+            for s in self.result.metrics.samples
+            if s.cross_shard_imbalance > 0.0
+        ]
+        return mean(values) if values else 1.0
+
+    @property
+    def mean_depth(self) -> float:
+        """Mean (over periods) of the per-period average lookup depth."""
+        return mean([s.avg_depth for s in self.result.metrics.samples])
+
+    @property
+    def max_depth(self) -> float:
+        """Deepest key group observed at any point in the run."""
+        return max(s.max_depth for s in self.result.metrics.samples)
+
+    @property
+    def messages_per_server_per_second(self) -> float:
+        """Mean signalling message rate (the Figure 5 metric)."""
+        return mean(
+            [s.messages_per_server_per_second for s in self.result.metrics.samples]
+        )
+
+    @property
+    def groups_reassigned(self) -> int:
+        """Key groups handed to a new owner by membership events."""
+        return sum(s.groups_reassigned for s in self.result.metrics.samples)
+
+
+@dataclass
+class ShardScalingResult:
+    """All points of a shard-scaling sweep.
+
+    Attributes:
+        scale_name: The experiment scale label.
+        transport: The transport the sweep ran on.
+        points: One entry per (shards, churn) combination, in sweep order.
+    """
+
+    scale_name: str
+    transport: str
+    points: list[ShardPoint] = field(default_factory=list)
+
+    def baseline(self) -> ShardPoint:
+        """The unsharded churn-free control (raises if the sweep skipped it)."""
+        for point in self.points:
+            if point.shards == 1 and point.join_rate == 0.0 and point.fail_rate == 0.0:
+                return point
+        raise KeyError("the sweep did not include the shards=1, churn-free point")
+
+
+def run_shard_scaling(
+    scale: ExperimentScale | None = None,
+    shard_counts: tuple[int, ...] = DEFAULT_SHARD_COUNTS,
+    churn_rates: tuple[tuple[float, float], ...] = DEFAULT_CHURN_VARIANTS,
+) -> ShardScalingResult:
+    """Run the shard-scaling sweep at the given scale.
+
+    Args:
+        scale: Experiment scale (defaults to ``ExperimentScale.scaled(10)``).
+            Its ``transport`` selects how messages move; its own ``shards``
+            and churn rates are ignored in favour of the sweep's.
+        shard_counts: The shard counts to evaluate.
+        churn_rates: The (join_rate, fail_rate) pairs each shard count runs
+            at.
+    """
+    if scale is None:
+        scale = ExperimentScale.scaled(10)
+    check_type("scale", scale, ExperimentScale)
+    sweep = ShardScalingResult(scale_name=scale.name, transport=scale.transport)
+    for shards in shard_counts:
+        for join_rate, fail_rate in churn_rates:
+            point_scale = dataclasses.replace(
+                scale, shards=shards, join_rate=join_rate, fail_rate=fail_rate
+            )
+            simulator = FlowSimulator(
+                config=point_scale.config(),
+                params=point_scale.params(),
+                scenario=point_scale.scenario(),
+            )
+            try:
+                result = simulator.run()
+                # Every point must end in a consistent state; for sharded
+                # points this includes the shard-locality invariants.
+                simulator.system.verify_invariants()
+            finally:
+                simulator.transport.close()
+            sweep.points.append(
+                ShardPoint(
+                    shards=shards,
+                    join_rate=join_rate,
+                    fail_rate=fail_rate,
+                    result=result,
+                )
+            )
+    return sweep
+
+
+def render_shard_scaling(result: ShardScalingResult) -> str:
+    """The sweep as a text table (load, imbalance, depth and overhead rows)."""
+    lines = [
+        "Shard scaling — ring federation size vs CLASH load, depth and overhead "
+        f"({result.scale_name} scale, {result.transport} transport)",
+        "",
+    ]
+    headers = [
+        "shards",
+        "join/sec",
+        "fail/sec",
+        "peak load %",
+        "shard peak %",
+        "imbalance",
+        "mean depth",
+        "max depth",
+        "msg/srv/s",
+        "splits",
+        "merges",
+        "moved",
+    ]
+    rows = []
+    for point in result.points:
+        rows.append(
+            [
+                point.shards,
+                f"{point.join_rate:g}",
+                f"{point.fail_rate:g}",
+                point.peak_load_percent,
+                point.mean_shard_peak_percent,
+                point.mean_imbalance,
+                point.mean_depth,
+                point.max_depth,
+                point.messages_per_server_per_second,
+                point.result.total_splits,
+                point.result.total_merges,
+                point.groups_reassigned,
+            ]
+        )
+    lines.append(format_table(headers, rows))
+    return "\n".join(lines)

@@ -59,6 +59,14 @@ class TransportSpec:
             ``PeriodSample`` streams bit for bit (golden harness enforces).
         churn_equivalence: ``exact_equivalence`` extends to scenarios with
             membership churn.
+        shard_aware: The transport honours per-shard endpoint namespacing
+            (``bind(..., shard=...)`` / ``endpoints(shard=...)``) and may
+            carry a sharded deployment.  All in-process transports inherit
+            the base :class:`~repro.net.transport.Transport` namespace and
+            are shard-aware; a future socket-backed transport opts out until
+            it can route a shard's endpoints to its worker process, and
+            :class:`~repro.sim.simulator.SimulationParams` refuses
+            ``shards > 1`` on a transport that is not shard-aware.
     """
 
     kind: str
@@ -68,6 +76,7 @@ class TransportSpec:
     models_time: bool = False
     exact_equivalence: bool = True
     churn_equivalence: bool = True
+    shard_aware: bool = True
 
 
 def _build_event(

@@ -47,6 +47,14 @@ class PeriodSample:
         dropped_messages: One-way envelopes the transport dropped during the
             period because their destination failed while they were in
             flight.
+        shard_count: Number of ring shards the deployment routes across
+            (1 for the paper's single global ring).
+        shard_peak_loads: Per-shard peak server load (% of capacity), in
+            shard order; empty for single-ring runs.
+        cross_shard_imbalance: Peak-to-mean ratio of the per-shard aggregate
+            loads — 1.0 means the shards carry identical totals, k means the
+            hottest shard carries k× the average.  0.0 for single-ring runs
+            and for periods with no load.
     """
 
     time: float
@@ -66,6 +74,9 @@ class PeriodSample:
     server_failures: int = 0
     groups_reassigned: int = 0
     dropped_messages: int = 0
+    shard_count: int = 1
+    shard_peak_loads: tuple[float, ...] = ()
+    cross_shard_imbalance: float = 0.0
 
 
 @dataclass(frozen=True)

@@ -40,7 +40,7 @@ from repro.sim.metrics import (
 )
 from repro.util.rng import SeedSequenceFactory
 from repro.util.stats import mean
-from repro.util.validation import check_positive, check_type
+from repro.util.validation import check_positive, check_power_of_two, check_type
 from repro.workload.distributions import WorkloadSpec
 from repro.workload.queries import QueryPopulation
 from repro.workload.scenario import PhasedScenario, ScenarioPhase
@@ -87,6 +87,12 @@ class SimulationParams:
             ``link_latency`` (time-modelling transports only).
         per_hop_latency: Extra latency per Chord routing hop (time-modelling
             transports only).
+        shards: Number of independent Chord rings the key space is
+            partitioned across (power of two; ``1`` = the paper's single
+            global ring, bit-identical to the pre-sharding behaviour).  The
+            selected transport must be shard-aware
+            (:attr:`repro.net.registry.TransportSpec.shard_aware`) when
+            ``shards > 1``.
     """
 
     server_count: int = 100
@@ -102,6 +108,7 @@ class SimulationParams:
     link_latency: float = 0.0
     latency_jitter: float = 0.0
     per_hop_latency: float = 0.0
+    shards: int = 1
 
     def __post_init__(self) -> None:
         check_type("server_count", self.server_count, int)
@@ -129,6 +136,17 @@ class SimulationParams:
         for name in ("link_latency", "latency_jitter", "per_hop_latency"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative, got {getattr(self, name)}")
+        check_power_of_two("shards", self.shards)
+        if self.shards > self.server_count:
+            raise ValueError(
+                f"cannot spread {self.server_count} servers over {self.shards} "
+                "shards; every shard needs at least one server"
+            )
+        if self.shards > 1 and not transport_spec(self.transport).shard_aware:
+            raise ValueError(
+                f"transport {self.transport!r} is not shard-aware; "
+                "sharded runs need per-shard endpoint namespacing"
+            )
 
     @classmethod
     def paper_scale(cls, query_clients: bool = False, mean_stream_length: float = 1000.0) -> "SimulationParams":
@@ -264,6 +282,7 @@ class FlowSimulator:
             rng=seeds.stream("ring"),
             bootstrap=False,
             transport=self._transport,
+            shards=params.shards,
         )
         self._system.bootstrap(config.initial_depth)
         self._churn_rng = seeds.stream("churn")
@@ -438,6 +457,27 @@ class FlowSimulator:
             percents.append(self._system.server(owner).load_percent())
         return percents
 
+    def _shard_load_stats(self) -> tuple[tuple[float, ...], float]:
+        """Per-shard peak load and the peak-to-mean shard-load imbalance.
+
+        Only evaluated for sharded runs (``shards > 1``); the per-server
+        ``load_percent`` reads hit the servers' interval caches, so this adds
+        one dict walk per period, not a recomputation.
+        """
+        router = self._system.router
+        count = router.shard_count
+        peaks = [0.0] * count
+        totals = [0.0] * count
+        for owner in self._system.active_servers():
+            shard = router.server_shard(owner)
+            percent = self._system.server(owner).load_percent()
+            if percent > peaks[shard]:
+                peaks[shard] = percent
+            totals[shard] += percent
+        grand_total = sum(totals)
+        imbalance = (max(totals) * count / grand_total) if grand_total > 0 else 0.0
+        return tuple(peaks), imbalance
+
     # ------------------------------------------------------------------ #
     # Scenario environment knobs (churn, per-phase latency)
     # ------------------------------------------------------------------ #
@@ -460,6 +500,11 @@ class FlowSimulator:
                 if len(names) <= 1:
                     break
                 victim = self._churn_rng.choice(names)
+                if not self._system.can_remove_server(victim):
+                    # Last server of its shard (sharded runs only): skip the
+                    # victim without failing it, keeping the draw sequence.
+                    names.remove(victim)
+                    continue
                 reassigned = self._system.handle_server_failure(victim)
                 names.remove(victim)
                 self._period_failures += 1
@@ -547,7 +592,7 @@ class FlowSimulator:
             name = f"j{self._join_counter}"
             self._join_counter += 1
             bits = self._config.hash_bits
-            taken = set(self._system.ring.node_ids())
+            taken = set(self._system.router.node_ids())
             node_id = self._join_rng.randbits(bits)
             while node_id in taken:
                 node_id = self._join_rng.randbits(bits)
@@ -559,6 +604,12 @@ class FlowSimulator:
             if len(names) <= 1:
                 return
             victim = self._fail_rng.choice(names)
+            if not self._system.can_remove_server(victim):
+                # The drawn victim is the last server of its shard; failing
+                # it would leave the shard's key range unowned.  Skip the
+                # event (never reached on a single ring while >1 server is
+                # alive, so the clock-less golden streams are unchanged).
+                return
             reassigned = self._system.handle_server_failure(victim)
             self._period_failures += 1
             self._period_reassigned += len(reassigned)
@@ -697,6 +748,10 @@ class FlowSimulator:
             dropped_total = self._transport.dropped_messages
             dropped = dropped_total - self._dropped_seen
             self._dropped_seen = dropped_total
+            if self._system.shard_count > 1:
+                shard_peaks, shard_imbalance = self._shard_load_stats()
+            else:
+                shard_peaks, shard_imbalance = (), 0.0
             sample = PeriodSample(
                 time=period_end,
                 workload=spec.name,
@@ -719,6 +774,9 @@ class FlowSimulator:
                 server_failures=self._period_failures,
                 groups_reassigned=self._period_reassigned,
                 dropped_messages=dropped,
+                shard_count=self._system.shard_count,
+                shard_peak_loads=shard_peaks,
+                cross_shard_imbalance=shard_imbalance,
             )
             self._period_joins = 0
             self._period_failures = 0

@@ -15,6 +15,7 @@ __all__ = [
     "check_non_negative",
     "check_in_range",
     "check_probability",
+    "check_power_of_two",
 ]
 
 
@@ -48,6 +49,14 @@ def check_non_negative(name: str, value: float) -> None:
     """Raise :class:`ValueError` unless ``value`` is >= 0."""
     if value < 0:
         raise ValueError(f"{name} must be non-negative, got {value}")
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Raise :class:`ValueError` unless ``value`` is a positive power of two."""
+    check_type(name, value, int)
+    check_positive(name, value)
+    if value & (value - 1):
+        raise ValueError(f"{name} must be a power of two, got {value}")
 
 
 def check_in_range(name: str, value: float, low: float, high: float) -> None:

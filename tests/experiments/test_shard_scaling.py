@@ -1,0 +1,168 @@
+"""Tests for the shard-scaling sweep (experiments/shard_scaling.py + CLI)."""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.runner import ExperimentScale
+from repro.experiments.shard_scaling import (
+    DEFAULT_SHARD_COUNTS,
+    render_shard_scaling,
+    run_shard_scaling,
+)
+
+TINY = ExperimentScale.scaled(factor=100, phase_periods=2)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_shard_scaling(
+            TINY, shard_counts=(1, 2, 4), churn_rates=((0.0, 0.0), (0.01, 0.02))
+        )
+
+    def test_one_point_per_combination(self, sweep):
+        combos = [(p.shards, p.join_rate, p.fail_rate) for p in sweep.points]
+        assert combos == [
+            (1, 0.0, 0.0),
+            (1, 0.01, 0.02),
+            (2, 0.0, 0.0),
+            (2, 0.01, 0.02),
+            (4, 0.0, 0.0),
+            (4, 0.01, 0.02),
+        ]
+
+    def test_baseline_is_the_unsharded_churn_free_control(self, sweep):
+        control = sweep.baseline()
+        assert control.shards == 1
+        assert control.join_rate == control.fail_rate == 0.0
+
+    def test_sharded_points_record_per_shard_metrics(self, sweep):
+        for point in sweep.points:
+            samples = point.result.metrics.samples
+            assert all(s.shard_count == point.shards for s in samples)
+            if point.shards == 1:
+                assert all(s.shard_peak_loads == () for s in samples)
+                assert point.mean_imbalance == 1.0
+            else:
+                assert all(len(s.shard_peak_loads) == point.shards for s in samples)
+                assert point.mean_imbalance >= 1.0
+                # The per-shard peaks bound the global peak from below.
+                for s in samples:
+                    assert max(s.shard_peak_loads) <= s.max_load_percent + 1e-9
+
+    def test_churn_points_actually_churn(self, sweep):
+        for point in sweep.points:
+            if point.join_rate > 0.0:
+                samples = point.result.metrics.samples
+                assert (
+                    sum(s.server_joins for s in samples)
+                    + sum(s.server_failures for s in samples)
+                    > 0
+                )
+
+    def test_render_produces_one_row_per_point(self, sweep):
+        text = render_shard_scaling(sweep)
+        assert "imbalance" in text
+        # Header + separator + one row per point.
+        table_rows = [
+            line for line in text.splitlines() if line and line[0].isdigit()
+        ]
+        assert len(table_rows) == len(sweep.points)
+
+    def test_default_shard_counts_are_the_acceptance_ladder(self):
+        assert DEFAULT_SHARD_COUNTS == (1, 2, 4, 8)
+
+
+class TestCli:
+    def test_shards_option_defaults_to_unset(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.shards is None
+
+    def test_shards_option_parses(self):
+        args = build_parser().parse_args(["shards", "--shards", "4"])
+        assert args.figure == "shards"
+        assert args.shards == 4
+
+    @pytest.mark.parametrize("shards", [1, 2, 4, 8])
+    def test_shards_sweep_runs_from_the_cli(self, shards, tmp_path: pathlib.Path):
+        exit_code = main(
+            [
+                "shards",
+                "--scale-factor",
+                "100",
+                "--phase-periods",
+                "2",
+                "--shards",
+                str(shards),
+                "--join-rate",
+                "0.01",
+                "--fail-rate",
+                "0.01",
+                "--quiet",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        assert exit_code == 0
+        report = (tmp_path / "shard_scaling.txt").read_text()
+        assert report.splitlines()[0].startswith("Shard scaling")
+        rows = [line for line in report.splitlines() if line and line[0].isdigit()]
+        assert len(rows) == 1
+        assert rows[0].split("|")[0].strip() == str(shards)
+
+    def test_asymmetric_churn_knobs_are_honoured(self, tmp_path: pathlib.Path):
+        """`--fail-rate` alone must not inject joins (and vice versa)."""
+        exit_code = main(
+            [
+                "shards",
+                "--scale-factor",
+                "100",
+                "--phase-periods",
+                "2",
+                "--shards",
+                "2",
+                "--fail-rate",
+                "0.02",
+                "--quiet",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        assert exit_code == 0
+        report = (tmp_path / "shard_scaling.txt").read_text()
+        row = next(line for line in report.splitlines() if line and line[0].isdigit())
+        cells = [cell.strip() for cell in row.split("|")]
+        assert cells[:3] == ["2", "0", "0.02"]
+
+    def test_fig4_accepts_shards(self, tmp_path: pathlib.Path):
+        exit_code = main(
+            [
+                "fig4",
+                "--scale-factor",
+                "100",
+                "--phase-periods",
+                "2",
+                "--shards",
+                "2",
+                "--quiet",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "figure4.txt").exists()
+
+
+class TestScaleValidation:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(TINY, shards=3)
+
+    def test_params_carry_the_shard_count(self):
+        scale = dataclasses.replace(TINY, shards=4)
+        assert scale.params().shards == 4

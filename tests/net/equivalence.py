@@ -143,11 +143,17 @@ def run_flow(
     scale: ExperimentScale,
     scenario: PhasedScenario,
     verify_membership: bool = False,
+    shards: int = 1,
 ) -> SimulationResult:
-    """One flow simulation on the given transport (zero link latency)."""
+    """One flow simulation on the given transport (zero link latency).
+
+    ``shards`` routes the run through the ring federation; the default 1
+    (the :class:`~repro.dht.router.SingleRingRouter`) is the configuration
+    the golden capture pins.
+    """
     simulator = FlowSimulator(
         config=scale.config(),
-        params=scale.params(transport=transport_kind),
+        params=scale.params(transport=transport_kind, shards=shards),
         scenario=scenario,
     )
     simulator.verify_after_membership = verify_membership

@@ -1,0 +1,114 @@
+"""Overload-set tracking: dirty-server load checks must equal the full scan.
+
+``ClashSystem.run_load_check`` probes a server's overload/underload status
+only when the server notified the system of a load change since the last
+probe (``ClashServer.set_load_listener`` → ``_mark_server_load_dirty``);
+every other server's cached verdicts are reused.  These tests pin the two
+properties that make that safe:
+
+* **Equivalence** — a full simulation with ``force_full_load_scan`` (probe
+  everyone, the pre-tracking behaviour) emits a ``PeriodSample`` stream
+  bit-identical to the tracked run, churn included.
+* **Steady-state sparsity** — with no load changes between two checks, the
+  second check performs zero fresh probes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.config import ClashConfig
+from repro.core.protocol import ClashSystem
+from repro.experiments.runner import ExperimentScale
+from repro.sim.simulator import FlowSimulator
+from repro.util.rng import RandomStream
+
+
+def _run(scale: ExperimentScale, scenario, full_scan: bool):
+    simulator = FlowSimulator(
+        config=scale.config(), params=scale.params(), scenario=scenario
+    )
+    simulator.system.force_full_load_scan = full_scan
+    try:
+        result = simulator.run()
+        simulator.system.verify_invariants()
+    finally:
+        simulator.transport.close()
+    return result
+
+
+class TestTrackedEqualsFullScan:
+    def test_reference_run_bit_identical(self):
+        scale = ExperimentScale.scaled(factor=50, phase_periods=2)
+        scenario = scale.scenario()
+        tracked = _run(scale, scenario, full_scan=False)
+        full = _run(scale, scenario, full_scan=True)
+        differences = tracked.diff(full)
+        assert not differences, "; ".join(differences)
+
+    def test_churn_run_bit_identical(self):
+        scale = dataclasses.replace(
+            ExperimentScale.scaled(factor=50, phase_periods=2),
+            join_rate=0.005,
+            fail_rate=0.005,
+        )
+        scenario = scale.scenario()
+        tracked = _run(scale, scenario, full_scan=False)
+        full = _run(scale, scenario, full_scan=True)
+        differences = tracked.diff(full)
+        assert not differences, "; ".join(differences)
+
+    def test_sharded_run_bit_identical(self):
+        scale = ExperimentScale.scaled(factor=50, phase_periods=2)
+        scale = dataclasses.replace(scale, shards=4)
+        scenario = scale.scenario()
+        tracked = _run(scale, scenario, full_scan=False)
+        full = _run(scale, scenario, full_scan=True)
+        differences = tracked.diff(full)
+        assert not differences, "; ".join(differences)
+
+
+class TestSteadyStateProbes:
+    def _quiet_system(self) -> ClashSystem:
+        config = ClashConfig.small_scale()
+        return ClashSystem.create(config, server_count=16, rng=RandomStream(42))
+
+    def test_unchanged_servers_are_not_reprobed(self):
+        system = self._quiet_system()
+        system.run_load_check()
+        first_pass = system.load_probes
+        assert first_pass > 0  # every server starts dirty
+        system.run_load_check()
+        assert system.load_probes == first_pass, (
+            "a steady-state load check re-probed servers whose load never changed"
+        )
+
+    def test_a_rate_change_dirties_exactly_the_touched_server(self):
+        system = self._quiet_system()
+        system.run_load_check()
+        baseline = system.load_probes
+        group, owner = next(iter(sorted(system.active_groups().items())))
+        system.server(owner).set_group_rate(group, 1.0)
+        system.run_load_check()
+        assert system.load_probes == baseline + 1, (
+            "changing one server's measured rate must re-probe that server only"
+        )
+
+    def test_full_scan_mode_probes_everyone(self):
+        system = self._quiet_system()
+        system.force_full_load_scan = True
+        system.run_load_check()
+        first = system.load_probes
+        system.run_load_check()
+        assert system.load_probes == 2 * first
+
+    def test_membership_events_dirty_the_touched_servers(self):
+        system = self._quiet_system()
+        system.run_load_check()
+        baseline = system.load_probes
+        handed_off = system.handle_server_join("late-joiner")
+        system.run_load_check()
+        # The joiner plus every former owner it drained must be re-probed;
+        # untouched servers must not be.
+        touched = {"late-joiner"} | set(handed_off.values())
+        assert system.load_probes == baseline + len(touched)

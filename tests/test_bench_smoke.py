@@ -51,6 +51,23 @@ def test_tiny_async_benchmark_config_executes():
 
 
 @pytest.mark.bench_smoke
+def test_tiny_sharded_benchmark_config_executes():
+    """One miniature sharded-vs-single-ring run of the bench_sharded workload."""
+    bench = _import_from_path(BENCH_DIR / "bench_sharded.py")
+
+    single_result, _ = bench._timed_run(1, factor=50, phase_periods=2)
+    sharded_result, _ = bench._timed_run(4, factor=50, phase_periods=2)
+    assert single_result.total_splits > 0
+    assert all(s.shard_count == 4 for s in sharded_result.metrics.samples)
+    # Peak-to-mean per-shard load is >= 1 whenever a period carries load
+    # (0.0 is the documented idle-period value).
+    assert all(
+        s.cross_shard_imbalance >= 1.0 or s.cross_shard_imbalance == 0.0
+        for s in sharded_result.metrics.samples
+    )
+
+
+@pytest.mark.bench_smoke
 def test_tiny_depth_search_benchmark_config_executes():
     """One miniature run of the depth-search benchmark workload."""
     bench = _import_from_path(BENCH_DIR / "bench_depth_search.py")
