@@ -8,7 +8,7 @@ PYTEST := PYTHONPATH=src python -m pytest
 # coverage grows, never lower it to admit a regression.
 COVERAGE_FLOOR := 90
 
-.PHONY: check lint test coverage bench-smoke bench bench-async bench-sharded bench-check bench-baseline
+.PHONY: check lint test coverage bench-smoke bench bench-async bench-sharded bench-check bench-baseline bench-paper bench-paper-baseline profile-paper
 
 check: lint test
 
@@ -63,3 +63,18 @@ bench-check:
 # Re-record BENCH_BASELINE.json after an intentional perf/behaviour change.
 bench-baseline:
 	PYTHONPATH=src python benchmarks/baseline.py --update
+
+# Paper-scale gate: the full Section 6.1 configuration (1000 servers, 100k
+# sources, 6-hour scenario), churn-free and churn-heavy, against
+# BENCH_PAPER_SCALE.json.  Same semantics as bench-check: metric drift always
+# fails, wall clock gated at 25% with retries.
+bench-paper:
+	PYTHONPATH=src python benchmarks/bench_paper_scale.py --check
+
+# Re-record BENCH_PAPER_SCALE.json after an intentional perf/behaviour change.
+bench-paper-baseline:
+	PYTHONPATH=src python benchmarks/bench_paper_scale.py --update
+
+# Hot-path table for the churn-heavy paper-scale run (cProfile top-25).
+profile-paper:
+	PYTHONPATH=src python benchmarks/bench_paper_scale.py --profile

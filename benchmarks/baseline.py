@@ -144,13 +144,26 @@ it against a median-recorded baseline leaves natural headroom on a
 contended machine without loosening the regression tolerance."""
 
 
-def run_all() -> dict[str, dict[str, object]]:
-    """Run every baseline benchmark, returning metrics + best/median timings."""
+def run_all(
+    benchmarks: dict[str, Callable[[], dict[str, object]]] | None = None,
+    rounds: int | None = None,
+    tag: str = "baseline",
+) -> dict[str, dict[str, object]]:
+    """Run a benchmark set, returning metrics + best/median timings.
+
+    The harness is shared: ``benchmarks/bench_paper_scale.py`` runs its own
+    benchmark dict (and round count) through the same warm-up, determinism
+    assertion and best/median bookkeeping.
+    """
+    if benchmarks is None:
+        benchmarks = BENCHMARKS
+    if rounds is None:
+        rounds = ROUNDS
     results: dict[str, dict[str, object]] = {}
-    for name, runner in BENCHMARKS.items():
+    for name, runner in benchmarks.items():
         metrics = runner()  # warm-up, untimed
         times: list[float] = []
-        for _timed_round in range(ROUNDS):
+        for _timed_round in range(rounds):
             start = time.perf_counter()
             round_metrics = runner()
             times.append(time.perf_counter() - start)
@@ -166,28 +179,41 @@ def run_all() -> dict[str, dict[str, object]]:
             "best_wall_clock_seconds": round(best, 4),
             "metrics": metrics,
         }
-        print(f"[baseline] {name}: best {best:.3f}s / median {median:.3f}s of {ROUNDS}")
+        print(f"[{tag}] {name}: best {best:.3f}s / median {median:.3f}s of {rounds}")
     return results
 
 
-def update(path: pathlib.Path) -> int:
-    results = run_all()
+def update(
+    path: pathlib.Path,
+    benchmarks: dict[str, Callable[[], dict[str, object]]] | None = None,
+    rounds: int | None = None,
+    tag: str = "baseline",
+) -> int:
+    results = run_all(benchmarks, rounds, tag=tag)
     payload = {
         "wallclock_tolerance": WALLCLOCK_TOLERANCE,
         "benchmarks": results,
     }
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
-    print(f"[baseline] wrote {path}")
+    print(f"[{tag}] wrote {path}")
     return 0
 
 
-def check(path: pathlib.Path, skip_wallclock: bool) -> int:
+def check(
+    path: pathlib.Path,
+    skip_wallclock: bool,
+    benchmarks: dict[str, Callable[[], dict[str, object]]] | None = None,
+    rounds: int | None = None,
+    tag: str = "baseline",
+) -> int:
+    if benchmarks is None:
+        benchmarks = BENCHMARKS
     if not path.exists():
-        print(f"[baseline] FAIL: no baseline at {path}; run --update first", file=sys.stderr)
+        print(f"[{tag}] FAIL: no baseline at {path}; run --update first", file=sys.stderr)
         return 1
     baseline = json.loads(path.read_text(encoding="utf-8"))
     tolerance = baseline.get("wallclock_tolerance", WALLCLOCK_TOLERANCE)
-    results = run_all()
+    results = run_all(benchmarks, rounds, tag=tag)
     failures: list[str] = []
     for name, current in results.items():
         reference = baseline["benchmarks"].get(name)
@@ -210,11 +236,11 @@ def check(path: pathlib.Path, skip_wallclock: bool) -> int:
                 # window over budget; re-measure before declaring a real
                 # regression.  Genuine slow code stays slow across retries.
                 print(
-                    f"[baseline] {name}: best {observed:.3f}s over budget "
+                    f"[{tag}] {name}: best {observed:.3f}s over budget "
                     f"{budget:.3f}s, re-measuring"
                 )
                 start = time.perf_counter()
-                BENCHMARKS[name]()
+                benchmarks[name]()
                 observed = min(observed, time.perf_counter() - start)
             if observed > budget:
                 failures.append(
@@ -223,18 +249,25 @@ def check(path: pathlib.Path, skip_wallclock: bool) -> int:
                     f"= {budget:.3f}s"
                 )
     if failures:
-        print(f"[baseline] FAIL ({len(failures)} issue(s)):", file=sys.stderr)
+        print(f"[{tag}] FAIL ({len(failures)} issue(s)):", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
         return 1
     gates = "metrics" if skip_wallclock else "metrics + wall clock"
-    print(f"[baseline] OK: {len(results)} benchmark(s) match the baseline ({gates})")
+    print(f"[{tag}] OK: {len(results)} benchmark(s) match the baseline ({gates})")
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    mode = parser.add_mutually_exclusive_group(required=True)
+def make_parser(
+    description: str, default_path: pathlib.Path, mode_required: bool = True
+) -> argparse.ArgumentParser:
+    """The shared --check/--update/--skip-wallclock/--baseline argument set.
+
+    ``mode_required=False`` lets a caller add further modes of its own (the
+    paper-scale benchmark adds ``--profile``) and enforce the choice itself.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    mode = parser.add_mutually_exclusive_group(required=mode_required)
     mode.add_argument("--check", action="store_true", help="compare against the baseline")
     mode.add_argument("--update", action="store_true", help="re-record the baseline")
     parser.add_argument(
@@ -245,9 +278,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--baseline",
         type=pathlib.Path,
-        default=BASELINE_PATH,
-        help=f"baseline file location (default: {BASELINE_PATH})",
+        default=default_path,
+        help=f"baseline file location (default: {default_path})",
     )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = make_parser(__doc__.splitlines()[0], BASELINE_PATH)
     args = parser.parse_args(argv)
     if args.update:
         return update(args.baseline)

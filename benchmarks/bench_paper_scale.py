@@ -1,0 +1,161 @@
+"""Paper-scale benchmark gate: the Section 6.1 configuration as a routine run.
+
+Two long-horizon benchmarks at the paper's full scale (1000 servers, 100,000
+sources, the 6-hour A → B → C scenario), compared against the committed
+``BENCH_PAPER_SCALE.json`` with the same semantics as ``BENCH_BASELINE.json``
+(metric drift always fails; wall clock is gated at 25 % with retries):
+
+* ``paper_scale`` — the churn-free reference run.
+* ``paper_scale_churn`` — the same scenario with Poisson joins and failures
+  at 0.005 events/second each, the configuration that exercised a full
+  O(ring) stabilisation per membership event before the incremental repair.
+
+The recorded metrics include the routing-tier work counters
+(``ring_finger_recomputations``, memo hit/invalidation counts), so the
+incremental-stabilisation win is itself drift-gated: a change that silently
+reverts rings to full rebuilds shows up as a metric failure, not merely a
+slow run.
+
+Usage (from the repo root, also exposed as ``make bench-paper``)::
+
+    PYTHONPATH=src python benchmarks/bench_paper_scale.py --check
+    PYTHONPATH=src python benchmarks/bench_paper_scale.py --check --skip-wallclock
+    PYTHONPATH=src python benchmarks/bench_paper_scale.py --update
+    PYTHONPATH=src python benchmarks/bench_paper_scale.py --profile
+
+After an intentional perf or behaviour change, re-record with ``--update``
+and commit the new ``BENCH_PAPER_SCALE.json`` together with the change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import sys
+from typing import Callable
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from benchmarks.baseline import check, make_parser, update  # noqa: E402
+from repro.experiments.runner import ExperimentScale  # noqa: E402
+from repro.sim.simulator import FlowSimulator, SimulationResult  # noqa: E402
+
+PAPER_BASELINE_PATH = REPO_ROOT / "BENCH_PAPER_SCALE.json"
+
+CHURN_RATE = 0.005
+"""Poisson join and failure rate (events/second) of the churn benchmark."""
+
+ROUNDS = 2
+"""Timed rounds per benchmark (plus the untimed warm-up).  The paper-scale
+runs are long enough that two rounds bound the harness at a few minutes
+while still letting --check pick a best round."""
+
+
+def _round(value: float) -> float:
+    return round(value, 9)
+
+
+def _paper_scale(churn: bool) -> ExperimentScale:
+    scale = ExperimentScale.paper()
+    if churn:
+        scale = dataclasses.replace(scale, join_rate=CHURN_RATE, fail_rate=CHURN_RATE)
+    return scale
+
+
+def _run(scale: ExperimentScale) -> SimulationResult:
+    return FlowSimulator(
+        config=scale.config(), params=scale.params(), scenario=scale.scenario()
+    ).run()
+
+
+def _metrics(result: SimulationResult) -> dict[str, object]:
+    samples = result.metrics.samples
+    metrics: dict[str, object] = {
+        "total_splits": result.total_splits,
+        "total_merges": result.total_merges,
+        "final_active_groups": result.final_active_groups,
+        "periods": len(samples),
+        "server_joins": sum(sample.server_joins for sample in samples),
+        "server_failures": sum(sample.server_failures for sample in samples),
+        "groups_reassigned": sum(sample.groups_reassigned for sample in samples),
+        "split_series": [sample.splits for sample in samples],
+        "merge_series": [sample.merges for sample in samples],
+        "max_load_series": [_round(sample.max_load_percent) for sample in samples],
+        "message_rate_series": [
+            _round(sample.messages_per_server_per_second) for sample in samples
+        ],
+    }
+    # The routing-tier work counters are deterministic functions of the seed
+    # and scenario, so they are drift-gated like every other metric.
+    metrics.update({key: int(value) for key, value in sorted(result.notes.items())})
+    return metrics
+
+
+def bench_paper_scale() -> dict[str, object]:
+    """The churn-free paper-scale reference run."""
+    return _metrics(_run(_paper_scale(churn=False)))
+
+
+def bench_paper_scale_churn() -> dict[str, object]:
+    """The paper-scale run under Poisson churn at 0.005 joins+fails/second."""
+    return _metrics(_run(_paper_scale(churn=True)))
+
+
+BENCHMARKS: dict[str, Callable[[], dict[str, object]]] = {
+    "paper_scale": bench_paper_scale,
+    "paper_scale_churn": bench_paper_scale_churn,
+}
+
+
+def profile_churn_run(top: int = 25) -> str:
+    """One churn-heavy paper-scale run under cProfile, as a top-N table."""
+    import cProfile
+    import pstats
+
+    from repro.experiments.reporting import render_profile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        _run(_paper_scale(churn=True))
+    finally:
+        profiler.disable()
+    return render_profile(pstats.Stats(profiler), top=top)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = make_parser(__doc__.splitlines()[0], PAPER_BASELINE_PATH, mode_required=False)
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile one churn-heavy paper-scale run and print the hot-path table",
+    )
+    parser.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        help="rows in the --profile table (default: 25)",
+    )
+    args = parser.parse_args(argv)
+    if args.profile:
+        print(profile_churn_run(top=args.profile_top))
+        return 0
+    if not (args.check or args.update):
+        parser.error("one of --check, --update or --profile is required")
+    if args.update:
+        return update(args.baseline, BENCHMARKS, ROUNDS, tag="paper-scale")
+    return check(
+        args.baseline,
+        skip_wallclock=args.skip_wallclock,
+        benchmarks=BENCHMARKS,
+        rounds=ROUNDS,
+        tag="paper-scale",
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -385,6 +385,28 @@ class ClashSystem:
         """Number of independent rings the key space is partitioned across."""
         return self._router.shard_count
 
+    def dht_stats(self) -> dict[str, int]:
+        """Routing-tier telemetry: lookup-memo and stabilisation counters.
+
+        Flat dict with ``memo_``-prefixed lookup-memo counters and
+        ``ring_``-prefixed stabilisation counters, summed across shards.
+        Purely observational — reading it does not perturb the simulation.
+        """
+        stats = {f"memo_{k}": v for k, v in self._router.memo_stats().items()}
+        stats.update(
+            {f"ring_{k}": v for k, v in self._router.stabilise_stats().items()}
+        )
+        return stats
+
+    def set_force_full_stabilise(self, flag: bool) -> None:
+        """Force every ring onto the from-scratch stabilisation path.
+
+        The reference mode the incremental repair is benchmarked and
+        equivalence-tested against; it does not change any routing outcome,
+        only how the routing state is recomputed.
+        """
+        self._router.set_force_full_stabilise(flag)
+
     def can_remove_server(self, name: str) -> bool:
         """True if ``name`` may fail without leaving a shard serverless."""
         return name in self._servers and self._router.can_remove(name)

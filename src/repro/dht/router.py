@@ -129,6 +129,36 @@ class RingRouter(abc.ABC):
         """Rebuild routing state on every shard with pending membership changes."""
 
     # ------------------------------------------------------------------ #
+    # Telemetry and tuning
+    # ------------------------------------------------------------------ #
+
+    def memo_stats(self) -> dict[str, int]:
+        """Lookup-memo telemetry summed across every shard ring."""
+        totals: dict[str, int] = {}
+        for ring in self.rings():
+            for name, value in ring.memo_stats().items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def stabilise_stats(self) -> dict[str, int]:
+        """Stabilisation telemetry summed across every shard ring."""
+        totals: dict[str, int] = {}
+        for ring in self.rings():
+            for name, value in ring.stabilise_stats().items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def set_force_full_stabilise(self, flag: bool) -> None:
+        """Force (or stop forcing) the from-scratch rebuild on every ring.
+
+        Routers never create rings after construction — joins add nodes to
+        the existing shard rings — so setting the flag here reaches every
+        ring the deployment will ever stabilise.
+        """
+        for ring in self.rings():
+            ring.force_full_stabilise = flag
+
+    # ------------------------------------------------------------------ #
     # Resolution
     # ------------------------------------------------------------------ #
 

@@ -19,9 +19,13 @@ from repro.keys.keygroup import KeyGroup
 from repro.util.validation import check_non_negative
 from repro.workload.distributions import WorkloadSpec
 
-__all__ = ["LoadMeasure", "shared_prefix_cache"]
+__all__ = ["LoadMeasure", "shared_prefix_cache", "shared_base_probabilities"]
 
 _PREFIX_CACHES: "weakref.WeakKeyDictionary[WorkloadSpec, dict[tuple[int, int], float]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+_BASE_PROBABILITIES: "weakref.WeakKeyDictionary[WorkloadSpec, tuple[float, ...]]" = (
     weakref.WeakKeyDictionary()
 )
 
@@ -40,6 +44,24 @@ def shared_prefix_cache(spec: WorkloadSpec) -> dict[tuple[int, int], float]:
         cache = {}
         _PREFIX_CACHES[spec] = cache
     return cache
+
+
+def shared_base_probabilities(spec: WorkloadSpec) -> tuple[float, ...]:
+    """Every base value's probability, computed once per spec.
+
+    Entry ``bv`` is exactly ``spec.probability(bv)`` — the same
+    ``weights[bv] / total_weight`` division on the same operands, so the
+    shared table is bit-identical to the scalar calls it replaces.  Every
+    prefix deeper than ``base_bits`` derives its probability from one of
+    these entries; sharing the table is what makes the batched assignment a
+    single division per group instead of a weight-slice sum.
+    """
+    base = _BASE_PROBABILITIES.get(spec)
+    if base is None:
+        total = spec.total_weight
+        base = tuple(weight / total for weight in spec.weights)
+        _BASE_PROBABILITIES[spec] = base
+    return base
 
 
 class LoadMeasure:
@@ -65,6 +87,7 @@ class LoadMeasure:
         # assignment loop without this cache.  The cache is shared per spec —
         # see shared_prefix_cache().
         self._prefix_probability_cache = shared_prefix_cache(spec)
+        self._base_probabilities = shared_base_probabilities(spec)
 
     @property
     def spec(self) -> WorkloadSpec:
@@ -103,21 +126,64 @@ class LoadMeasure:
         probability = self.group_probability(group)
         return self._total_rate * probability, self._total_queries * probability
 
+    def _ensure_probabilities(self, pairs: Iterable[tuple[int, int]]) -> None:
+        """Batch-fill the shared prefix cache for every missing (prefix, depth).
+
+        Trie-style sharing: prefixes deeper than ``base_bits`` all derive
+        from the per-spec base-probability table (one shared division per
+        base value, then one division per prefix), and sibling prefixes at
+        one depth share the ``1 << excess`` scale.  Each individual float
+        operation — the base division, the excess division, the weight-slice
+        sum for shallow prefixes — is the same operation on the same operands
+        as the scalar :meth:`WorkloadSpec.prefix_probability` path, in the
+        same order, so the batched results are bit-identical (the loadmeasure
+        test suite asserts exact equality).
+        """
+        cache = self._prefix_probability_cache
+        spec = self._spec
+        base_bits = spec.base_bits
+        weights = spec.weights
+        total = spec.total_weight
+        base = self._base_probabilities
+        by_depth: dict[int, list[int]] = {}
+        for prefix, depth in pairs:
+            if (prefix, depth) not in cache:
+                by_depth.setdefault(depth, []).append(prefix)
+        for depth, prefixes in by_depth.items():
+            if depth < 0:
+                raise ValueError(f"depth must be non-negative, got {depth}")
+            if depth <= base_bits:
+                # Shallow prefixes aggregate weight slices.  The sums stay
+                # sequential left-to-right — summing children and combining
+                # would reorder the additions and change the low bits.
+                shift = base_bits - depth
+                for prefix in prefixes:
+                    start = prefix << shift
+                    cache[(prefix, depth)] = sum(weights[start : (prefix + 1) << shift]) / total
+            else:
+                excess = depth - base_bits
+                scale = 1 << excess
+                for prefix in prefixes:
+                    cache[(prefix, depth)] = base[prefix >> excess] / scale
+
     def assign_rates(
         self, groups: Iterable[KeyGroup]
     ) -> dict[KeyGroup, tuple[float, float]]:
         """Bulk assignment: ``{group: (rate, queries)}`` in a single pass.
 
-        One probability fetch per group (against the shared prefix cache)
-        replaces the two separate ``group_rate``/``group_queries`` lookups the
-        per-group API costs.
+        Missing probabilities are computed through the batched trie path
+        (:meth:`_ensure_probabilities`) — one shared base-probability table
+        and one division per group — instead of a weight-slice sum each, then
+        every group's expectations come from the shared prefix cache.
         """
-        group_probability = self.group_probability
+        materialised = list(groups)
+        self._ensure_probabilities((group.prefix, group.depth) for group in materialised)
+        cache = self._prefix_probability_cache
         total_rate = self._total_rate
         total_queries = self._total_queries
         assignments: dict[KeyGroup, tuple[float, float]] = {}
-        for group in groups:
-            probability = group_probability(group)
+        for group in materialised:
+            probability = cache[(group.prefix, group.depth)]
             assignments[group] = (total_rate * probability, total_queries * probability)
         return assignments
 
@@ -125,7 +191,8 @@ class LoadMeasure:
         """Expected rate for every prefix of the given depth (Figure 3 helper)."""
         if depth < 0:
             raise ValueError(f"depth must be non-negative, got {depth}")
+        self._ensure_probabilities((prefix, depth) for prefix in range(1 << depth))
+        cache = self._prefix_probability_cache
         return [
-            self._total_rate * self._spec.prefix_probability(prefix, depth)
-            for prefix in range(1 << depth)
+            self._total_rate * cache[(prefix, depth)] for prefix in range(1 << depth)
         ]

@@ -12,6 +12,7 @@ Figure 3 benchmark can report the skew explicitly.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, field
 
@@ -61,9 +62,14 @@ class WorkloadSpec:
         if sum(self.weights) <= 0:
             raise ValueError("weights must sum to a positive value")
 
-    @property
+    @functools.cached_property
     def total_weight(self) -> float:
-        """Sum of the unnormalised weights."""
+        """Sum of the unnormalised weights (computed once; the spec is frozen).
+
+        ``cached_property`` stores the value in the instance ``__dict__``,
+        which bypasses the frozen dataclass's ``__setattr__`` and leaves
+        equality and hashing (field-based) untouched.
+        """
         return float(sum(self.weights))
 
     def probability(self, base_value: int) -> float:

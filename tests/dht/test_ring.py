@@ -176,6 +176,89 @@ class TestLookups:
         assert large.expected_hops() > small.expected_hops()
 
 
+class TestLookupMemo:
+    def test_overflow_evicts_oldest_not_everything(self, ring: ChordRing):
+        ring._memo_limit = 8
+        rng = RandomStream(12)
+        keys = []
+        while len(keys) < 8:
+            key = rng.randbits(16)
+            if key not in keys:
+                keys.append(key)
+        expected = {key: ring.find_successor(key) for key in keys}
+        assert ring.memo_stats()["entries"] == 8
+        # One more distinct key displaces exactly the oldest-inserted entry.
+        overflow_key = next(
+            key for key in iter(lambda: rng.randbits(16), None) if key not in keys
+        )
+        ring.find_successor(overflow_key)
+        stats = ring.memo_stats()
+        assert stats["entries"] == 8
+        assert stats["evictions"] == 1
+        # The seven hot (most recently inserted) entries survived ...
+        hits_before = ring.memo_stats()["hits"]
+        for key in keys[1:]:
+            result = ring.find_successor(key)
+            assert (result.owner, result.hops, result.path) == (
+                expected[key].owner,
+                expected[key].hops,
+                expected[key].path,
+            )
+        assert ring.memo_stats()["hits"] == hits_before + 7
+        # ... and the evicted entry still answers identically when re-walked.
+        rewalked = ring.find_successor(keys[0])
+        assert (rewalked.owner, rewalked.hops, rewalked.path) == (
+            expected[keys[0]].owner,
+            expected[keys[0]].hops,
+            expected[keys[0]].path,
+        )
+
+    def test_memo_stats_counters(self, ring: ChordRing):
+        stats = ring.memo_stats()
+        assert stats == {
+            "entries": 0,
+            "hits": 0,
+            "misses": 0,
+            "invalidations": 0,
+            "evictions": 0,
+        }
+        ring.find_successor(1234)
+        ring.find_successor(1234)
+        ring.find_successor(1234, start="s3")
+        stats = ring.memo_stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+        assert stats["entries"] == 2
+        ident = IdentifierKey(value=42, width=16)
+        ring.lookup_key(ident)
+        ring.lookup_key(ident)
+        stats = ring.memo_stats()
+        # lookup_key memoizes the identifier key and its hash key separately.
+        assert stats["hits"] == 2
+        assert stats["misses"] == 4
+        ring.remove_node("s9")
+        ring.stabilise()
+        assert ring.memo_stats()["invalidations"] >= 0
+        assert ring.stabilise_stats()["incremental_events"] >= 1
+
+    def test_stabilise_stats_count_full_and_incremental_work(self):
+        space = HashSpace(bits=16)
+        ring = ChordRing.build(node_count=32, space=space, rng=RandomStream(3))
+        stats = ring.stabilise_stats()
+        assert stats["full_rebuilds"] == 1
+        assert stats["finger_recomputations"] == 32 * 16
+        assert stats["incremental_events"] == 0
+        ring.add_node("late", node_id=next(
+            i for i in range(space.size) if i not in set(ring.node_ids())
+        ))
+        ring.stabilise()
+        stats = ring.stabilise_stats()
+        assert stats["full_rebuilds"] == 1
+        assert stats["incremental_events"] == 1
+        # The single join recomputed far fewer fingers than a rebuild would.
+        assert stats["finger_recomputations"] < 32 * 16 + 32 * 16 // 3
+
+
 class TestChurn:
     def test_keys_fall_to_successor_after_leave(self, ring: ChordRing):
         key = 54321

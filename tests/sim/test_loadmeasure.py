@@ -5,8 +5,13 @@ from __future__ import annotations
 import pytest
 
 from repro.keys.keygroup import KeyGroup
-from repro.sim.loadmeasure import LoadMeasure
-from repro.workload.distributions import WorkloadSpec, workload_c
+from repro.sim.loadmeasure import LoadMeasure, shared_base_probabilities
+from repro.workload.distributions import (
+    WorkloadSpec,
+    workload_a,
+    workload_b,
+    workload_c,
+)
 
 
 SPEC = WorkloadSpec(name="X", base_bits=2, weights=(1.0, 2.0, 3.0, 4.0), source_rate=1.0)
@@ -56,3 +61,80 @@ class TestLoadMeasure:
         assert measure.total_rate == 10.0
         assert measure.total_queries == 5.0
         assert measure.group_probability(KeyGroup.root(8)) == pytest.approx(1.0)
+
+
+class TestBatchedAssignmentBitIdentity:
+    """The batched trie path must reproduce the scalar path bit-for-bit."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            workload_a(),
+            workload_b(),
+            workload_c(),
+            WorkloadSpec(
+                name="R",
+                base_bits=6,
+                weights=tuple(
+                    ((seed * 2654435761) % 1000) / 100.0 + 0.01
+                    for seed in range(1 << 6)
+                ),
+                source_rate=1.5,
+            ),
+        ],
+        ids=lambda spec: spec.name,
+    )
+    def test_assign_rates_matches_scalar_path_exactly(self, spec: WorkloadSpec):
+        batched = LoadMeasure(spec=spec, total_rate=777.5, total_queries=321.25)
+        # A scalar reference over an equal-but-distinct spec, so the two
+        # measures cannot share a prefix cache.
+        scalar_spec = WorkloadSpec(
+            name=spec.name + "-ref",
+            base_bits=spec.base_bits,
+            weights=spec.weights,
+            source_rate=spec.source_rate,
+        )
+        scalar = LoadMeasure(spec=scalar_spec, total_rate=777.5, total_queries=321.25)
+        groups = [
+            KeyGroup(prefix=prefix, depth=depth, width=24)
+            for depth in [1, 3, spec.base_bits, spec.base_bits + 1, spec.base_bits + 5]
+            for prefix in range(0, 1 << depth, max(1, (1 << depth) // 64))
+        ]
+        assignments = batched.assign_rates(groups)
+        for group in groups:
+            rate, queries = assignments[group]
+            # Exact equality on purpose: the batch must replay the scalar
+            # multiply order, not merely approximate it.
+            assert rate == scalar.group_rate(group)
+            assert queries == scalar.group_queries(group)
+
+    def test_rate_by_prefix_matches_direct_spec_calls_exactly(self):
+        spec = workload_c()
+        measure = LoadMeasure(spec=spec, total_rate=250.0)
+        for depth in [0, 4, spec.base_bits, spec.base_bits + 3]:
+            batched = measure.rate_by_prefix(depth)
+            direct = [
+                250.0 * spec.prefix_probability(prefix, depth)
+                for prefix in range(1 << depth)
+            ]
+            assert batched == direct
+
+    def test_shared_base_probabilities_match_scalar_probability(self):
+        spec = workload_b()
+        base = shared_base_probabilities(spec)
+        assert len(base) == 1 << spec.base_bits
+        for base_value in range(0, 1 << spec.base_bits, 7):
+            assert base[base_value] == spec.probability(base_value)
+        # Shared per spec: a second fetch returns the same object.
+        assert shared_base_probabilities(spec) is base
+
+    def test_total_weight_is_cached_but_unchanged(self):
+        spec = workload_a()
+        first = spec.total_weight
+        assert spec.total_weight is spec.total_weight or spec.total_weight == first
+        assert first == float(sum(spec.weights))
+        # Caching must not disturb dataclass equality or hashing.
+        twin = workload_a()
+        _ = twin.total_weight
+        assert spec == twin
+        assert hash(spec) == hash(twin)

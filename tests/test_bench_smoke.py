@@ -68,6 +68,32 @@ def test_tiny_sharded_benchmark_config_executes():
 
 
 @pytest.mark.bench_smoke
+def test_tiny_paper_scale_benchmark_config_executes():
+    """The paper-scale benchmark machinery on a miniature configuration.
+
+    Runs the same ``_run``/``_metrics`` pipeline ``make bench-paper`` gates,
+    but at scaled(factor=100) so it executes at tier-1 cost on every CI run.
+    """
+    import dataclasses
+
+    bench = _import_from_path(BENCH_DIR / "bench_paper_scale.py")
+    from repro.experiments.runner import ExperimentScale
+
+    tiny = dataclasses.replace(
+        ExperimentScale.scaled(factor=100, phase_periods=2),
+        join_rate=bench.CHURN_RATE,
+        fail_rate=bench.CHURN_RATE,
+    )
+    metrics = bench._metrics(bench._run(tiny))
+    assert metrics["periods"] == 6
+    assert metrics["total_splits"] > 0
+    # The routing-tier work counters ride along as drift-gated metrics.
+    assert metrics["ring_full_rebuilds"] == 1
+    assert metrics["ring_finger_recomputations"] > 0
+    assert metrics["memo_hits"] > 0
+
+
+@pytest.mark.bench_smoke
 def test_tiny_depth_search_benchmark_config_executes():
     """One miniature run of the depth-search benchmark workload."""
     bench = _import_from_path(BENCH_DIR / "bench_depth_search.py")
