@@ -8,7 +8,7 @@ PYTEST := PYTHONPATH=src python -m pytest
 # coverage grows, never lower it to admit a regression.
 COVERAGE_FLOOR := 90
 
-.PHONY: check lint test coverage bench-smoke bench bench-async bench-sharded bench-check bench-baseline bench-paper bench-paper-baseline profile-paper
+.PHONY: check lint test coverage bench-smoke bench bench-async bench-sharded bench-check bench-baseline bench-paper bench-paper-baseline profile-paper fuzz-smoke
 
 check: lint test
 
@@ -78,3 +78,14 @@ bench-paper-baseline:
 # Hot-path table for the churn-heavy paper-scale run (cProfile top-25).
 profile-paper:
 	PYTHONPATH=src python benchmarks/bench_paper_scale.py --profile
+
+# Adversarial schedule fuzz smoke: a fixed-seed, small-budget sweep of
+# delivery orders and churn timings over the async transport (single ring
+# and 4 shards), with the invariant oracle at every quiescent point.  The
+# run is deterministic; it must find zero violations (exit 1 otherwise).
+# See docs/FUZZING.md.
+fuzz-smoke:
+	PYTHONPATH=src python -m repro fuzz --scale-factor 100 --phase-periods 2 \
+		--fuzz-budget 6 --fuzz-seeds 0:2 --fuzz-transports async \
+		--fuzz-shards 1,4 --join-rate 0.01 --fail-rate 0.01 \
+		--verify-invariants --quiet --output-dir /tmp/fuzz-smoke

@@ -39,6 +39,7 @@ from repro.experiments.reporting import (
     series_to_csv,
 )
 from repro.experiments.runner import ExperimentScale
+from repro.fuzz.oracle import ORACLES
 from repro.experiments.shard_scaling import (
     DEFAULT_CHURN_VARIANTS,
     DEFAULT_SHARD_COUNTS,
@@ -58,10 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "figure",
-        choices=["fig1", "fig3", "fig4", "fig5", "churn", "shards", "all"],
+        choices=["fig1", "fig3", "fig4", "fig5", "churn", "shards", "fuzz", "repro", "all"],
         help="which figure to regenerate ('fig1' covers Figures 1 and 2; "
         "'churn' and 'shards' are the beyond-the-paper membership-churn and "
-        "shard-scaling sweeps)",
+        "shard-scaling sweeps; 'fuzz' runs the adversarial schedule fuzzer "
+        "and 'repro' replays one of its artifacts — neither is part of "
+        "'all')",
     )
     parser.add_argument(
         "--output-dir",
@@ -135,6 +138,57 @@ def build_parser() -> argparse.ArgumentParser:
         + ")",
     )
     parser.add_argument(
+        "--verify-invariants",
+        action="store_true",
+        help="run the full protocol invariant pass after every membership "
+        "event and at every period boundary (slower; catches corruption at "
+        "the moment it happens)",
+    )
+    fuzz = parser.add_argument_group(
+        "fuzzing", "options for the 'fuzz' and 'repro' commands"
+    )
+    fuzz.add_argument(
+        "--fuzz-budget",
+        type=int,
+        default=16,
+        help="maximum number of fuzz cases to run (default: 16)",
+    )
+    fuzz.add_argument(
+        "--fuzz-seeds",
+        default="0:8",
+        help="seed axis of the sweep: 'START:STOP' for a range or a "
+        "comma-separated list (default: 0:8)",
+    )
+    fuzz.add_argument(
+        "--fuzz-transports",
+        default="async,event",
+        help="comma-separated transport kinds to sweep (default: async,event)",
+    )
+    fuzz.add_argument(
+        "--fuzz-shards",
+        default="1,2",
+        help="comma-separated shard counts to sweep (default: 1,2)",
+    )
+    fuzz.add_argument(
+        "--fuzz-oracle",
+        choices=sorted(ORACLES),
+        default="invariants",
+        help="which oracle to run at every quiescent point (default: invariants)",
+    )
+    fuzz.add_argument(
+        "--shrink-budget",
+        type=int,
+        default=192,
+        help="maximum replays ddmin may spend minimising one finding "
+        "(default: 192)",
+    )
+    fuzz.add_argument(
+        "--artifact",
+        type=pathlib.Path,
+        default=None,
+        help="repro artifact JSON to replay (required by the 'repro' command)",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="only write files, do not print the reports to stdout",
@@ -170,6 +224,7 @@ def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
         join_rate=args.join_rate if args.join_rate is not None else 0.0,
         fail_rate=args.fail_rate if args.fail_rate is not None else 0.0,
         shards=args.shards if args.shards is not None else 1,
+        verify_invariants=args.verify_invariants,
     )
 
 
@@ -256,6 +311,94 @@ def _run_shards(args: argparse.Namespace) -> list[pathlib.Path]:
     ]
 
 
+def _parse_seed_axis(text: str) -> tuple[int, ...]:
+    """Parse --fuzz-seeds: 'START:STOP' (half-open range) or 'a,b,c'."""
+    text = text.strip()
+    if ":" in text:
+        start_text, stop_text = text.split(":", 1)
+        start, stop = int(start_text), int(stop_text)
+        if stop <= start:
+            raise ValueError(f"empty seed range {text!r}")
+        return tuple(range(start, stop))
+    return tuple(int(part) for part in text.split(",") if part.strip())
+
+
+def _run_fuzz_command(args: argparse.Namespace) -> int:
+    """The 'fuzz' command: sweep, shrink, write artifacts; exit 1 on findings."""
+    from repro.fuzz import FuzzPlan, build_oracle, render_report, run_fuzz
+    from repro.fuzz.fuzzer import DEFAULT_CHURN_RATES as FUZZ_CHURN_RATES
+
+    transports = tuple(
+        part.strip() for part in args.fuzz_transports.split(",") if part.strip()
+    )
+    for kind in transports:
+        if kind not in TRANSPORT_KINDS:
+            raise SystemExit(f"unknown fuzz transport {kind!r}")
+    shards = tuple(
+        int(part) for part in args.fuzz_shards.split(",") if part.strip()
+    )
+    # Explicit churn knobs pin a single (join, fail) variant, mirroring the
+    # 'churn' command; otherwise both the calm and churning variants run.
+    if args.join_rate is not None or args.fail_rate is not None:
+        churn_rates = ((args.join_rate or 0.0, args.fail_rate or 0.0),)
+    else:
+        churn_rates = FUZZ_CHURN_RATES
+    plan = FuzzPlan(
+        transports=transports,
+        shards=shards,
+        seeds=_parse_seed_axis(args.fuzz_seeds),
+        churn_rates=churn_rates,
+        budget=args.fuzz_budget,
+        scale_factor=args.scale_factor,
+        phase_periods=args.phase_periods,
+        oracle=args.fuzz_oracle,
+        shrink_budget=args.shrink_budget,
+    )
+    try:
+        build_oracle(plan.oracle, plan.oracle_params)
+    except (TypeError, ValueError) as error:
+        raise SystemExit(
+            f"oracle {plan.oracle!r} needs parameters the CLI cannot supply "
+            f"({error}); use --fuzz-oracle invariants"
+        ) from error
+    report = run_fuzz(
+        plan,
+        output_dir=args.output_dir,
+        log=None if args.quiet else print,
+    )
+    _write(args.output_dir, "fuzz.txt", render_report(report), args.quiet)
+    return 0 if report.clean else 1
+
+
+def _run_repro_command(args: argparse.Namespace) -> int:
+    """The 'repro' command: replay an artifact; exit 0 iff it reproduces."""
+    from repro.fuzz import ReproArtifact, replay_artifact
+
+    if args.artifact is None:
+        raise SystemExit("the 'repro' command requires --artifact PATH")
+    try:
+        artifact = ReproArtifact.load(args.artifact)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"cannot load artifact {str(args.artifact)!r}: {error}") from error
+    outcome = replay_artifact(artifact)
+    reproduced = (
+        outcome.violation is not None
+        and outcome.violation.check == artifact.failure_check
+    )
+    if not args.quiet:
+        print(f"case:     {artifact.case.case_id()}")
+        print(f"oracle:   {artifact.oracle}")
+        print(f"expected: {artifact.failure_check} — {artifact.failure_message}")
+        if outcome.violation is None:
+            print("replay:   no violation (NOT reproduced)")
+        else:
+            print(
+                f"replay:   {outcome.violation.check} — {outcome.violation.detail}"
+                + ("" if reproduced else " (different check — NOT reproduced)")
+            )
+    return 0 if reproduced else 1
+
+
 _COMMANDS: dict[str, Callable[[argparse.Namespace], list[pathlib.Path]]] = {
     "fig1": _run_fig1,
     "fig3": _run_fig3,
@@ -270,6 +413,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    # The fuzz/repro commands have pass/fail exit codes of their own and are
+    # deliberately excluded from 'all'.
+    if args.figure == "fuzz":
+        return _run_fuzz_command(args)
+    if args.figure == "repro":
+        return _run_repro_command(args)
     figures = list(_COMMANDS) if args.figure == "all" else [args.figure]
     written: list[pathlib.Path] = []
 

@@ -47,7 +47,7 @@ from repro.dht.hashspace import HashSpace
 from repro.dht.ring import ChordRing
 from repro.dht.router import RingRouter, build_router
 from repro.keys.identifier import IdentifierKey
-from repro.keys.keygroup import KeyGroup
+from repro.keys.keygroup import KeyGroup, first_overlapping_pair
 from repro.net.envelope import DhtAddress, Envelope
 from repro.net.inline import InlineTransport
 from repro.net.transport import DeliveryFailed, Transport, TransportError
@@ -1180,14 +1180,10 @@ class ClashSystem:
            client depth discovery converge.
         4. Per-server table invariants hold.
         """
-        total = 0
         groups = sorted(self._group_owner)
-        for index, group in enumerate(groups):
-            total += group.size
-            for other in groups[index + 1 :]:
-                assert not group.overlaps(other), (
-                    f"active groups {group} and {other} overlap"
-                )
+        pair = first_overlapping_pair(groups)
+        assert pair is None, f"active groups {pair[0]} and {pair[1]} overlap"
+        total = sum(group.size for group in groups)
         assert total == (1 << self._config.key_bits), (
             f"active groups cover {total} keys, expected {1 << self._config.key_bits}"
         )

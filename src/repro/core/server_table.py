@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.keys.identifier import IdentifierKey
-from repro.keys.keygroup import KeyGroup
+from repro.keys.keygroup import KeyGroup, first_overlapping_pair
 
 __all__ = ["ServerTableEntry", "ServerTable", "SELF_PARENT"]
 
@@ -290,11 +290,8 @@ class ServerTable:
     def check_invariants(self) -> None:
         """Raise :class:`AssertionError` if any local invariant is violated."""
         active = [group for group, entry in self._entries.items() if entry.active]
-        for index, group in enumerate(active):
-            for other in active[index + 1 :]:
-                assert not group.overlaps(other), (
-                    f"active groups {group} and {other} overlap"
-                )
+        pair = first_overlapping_pair(active)
+        assert pair is None, f"active groups {pair[0]} and {pair[1]} overlap"
         for group, entry in self._entries.items():
             if not entry.active:
                 assert entry.right_child_id is not None, (

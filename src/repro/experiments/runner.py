@@ -56,6 +56,10 @@ class ExperimentScale:
             scenario phase (0 = no churn, the default).
         shards: Number of independent Chord rings the key space is
             partitioned across (power of two; 1 = the paper's single ring).
+        verify_invariants: Run the full protocol invariant pass after every
+            membership event and at every period boundary (the CLI's
+            ``--verify-invariants``; off by default — pure overhead on a
+            healthy run).
     """
 
     name: str
@@ -71,6 +75,7 @@ class ExperimentScale:
     join_rate: float = 0.0
     fail_rate: float = 0.0
     shards: int = 1
+    verify_invariants: bool = False
 
     def __post_init__(self) -> None:
         check_type("server_count", self.server_count, int)
@@ -177,6 +182,7 @@ class ExperimentScale:
             "transport": self.transport,
             "link_latency": self.link_latency,
             "shards": self.shards,
+            "verify_invariants": self.verify_invariants,
         }
         values.update(overrides)
         return SimulationParams(**values)

@@ -1,0 +1,65 @@
+"""Adversarial schedule fuzzing with automatic trace minimisation.
+
+The fuzzer sweeps delivery-order seeds, churn timings and shard counts over
+the async and event transports, runs the protocol's invariant oracle at
+every quiescent point, records each run's schedule (tie-break tape + pinned
+membership events) as a replayable trace, and — when a violation fires —
+shrinks the trace with ddmin delta debugging to a minimal failing schedule
+packaged as a self-contained JSON repro artifact.
+
+Entry points:
+
+* :func:`run_fuzz` / :class:`FuzzPlan` — the sweep driver (CLI ``fuzz``).
+* :func:`replay_artifact` / :class:`ReproArtifact` — bit-identical replay of
+  a packaged finding (CLI ``repro``).
+* :func:`run_case` / :class:`FuzzCase` — one recordable, replayable run.
+* :func:`ddmin` — the schedule-agnostic minimiser.
+
+See ``docs/FUZZING.md`` for the workflow.
+"""
+
+from __future__ import annotations
+
+from repro.fuzz.artifact import ARTIFACT_FORMAT, ReproArtifact, replay_artifact
+from repro.fuzz.harness import CaseOutcome, FuzzCase, RecordedTrace, run_case
+from repro.fuzz.oracle import (
+    ORACLES,
+    FuzzOracle,
+    InvariantOracle,
+    OracleViolation,
+    TieWitnessOracle,
+    build_oracle,
+)
+from repro.fuzz.fuzzer import (
+    FuzzFinding,
+    FuzzPlan,
+    FuzzReport,
+    enumerate_cases,
+    render_report,
+    run_fuzz,
+)
+from repro.fuzz.shrink import ShrinkResult, ddmin
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ORACLES",
+    "CaseOutcome",
+    "FuzzCase",
+    "FuzzFinding",
+    "FuzzOracle",
+    "FuzzPlan",
+    "FuzzReport",
+    "InvariantOracle",
+    "OracleViolation",
+    "RecordedTrace",
+    "ReproArtifact",
+    "ShrinkResult",
+    "TieWitnessOracle",
+    "build_oracle",
+    "ddmin",
+    "enumerate_cases",
+    "render_report",
+    "replay_artifact",
+    "run_case",
+    "run_fuzz",
+]

@@ -1,0 +1,225 @@
+"""Invariant oracles the schedule fuzzer runs at every quiescent point.
+
+An oracle is a pair of callbacks the harness installs on a
+:class:`~repro.sim.simulator.FlowSimulator` (via ``set_oracles``):
+``check_system`` fires after membership events, after each balance
+iteration's load check and at period boundaries; ``check_sample``
+additionally sees each freshly built
+:class:`~repro.sim.metrics.PeriodSample`.  A violated property raises
+:class:`OracleViolation`, which carries a stable ``check`` name — the
+shrinker's predicate compares check names, not messages, so a minimised
+schedule counts as reproducing the failure even when the detail text differs.
+
+Two oracles ship:
+
+* :class:`InvariantOracle` (``"invariants"``) — the real one: the full
+  protocol invariant pass (prefix-freeness, coverage, ownership registry,
+  shard locality) plus metric sanity checks on every period sample.
+* :class:`TieWitnessOracle` (``"tie-witness"``) — a synthetic oracle for
+  testing the fuzz loop itself: it "fails" exactly when every one of its
+  witness tie-break draws exceeded a threshold, which makes the minimal
+  failing schedule *predictable* (precisely the witness entries, since a
+  masked tie draws the FIFO default 0.0).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Mapping, Sequence
+
+from repro.sim.metrics import PeriodSample
+
+__all__ = [
+    "ORACLES",
+    "FuzzOracle",
+    "InvariantOracle",
+    "OracleViolation",
+    "TieWitnessOracle",
+    "build_oracle",
+]
+
+
+class OracleViolation(AssertionError):
+    """An oracle property failed.
+
+    Attributes:
+        check: Stable name of the violated property (e.g. ``"invariants"``
+            or ``"metrics:load"``) — the shrinker's reproduction criterion.
+        detail: Human-readable description of the violation.
+    """
+
+    def __init__(self, check: str, detail: str) -> None:
+        super().__init__(f"{check}: {detail}")
+        self.check = check
+        self.detail = detail
+
+
+class FuzzOracle:
+    """Base oracle: named, parameterisable, bound to one simulator run."""
+
+    name = "oracle"
+
+    def params(self) -> dict:
+        """JSON-ready constructor parameters (for the repro artifact)."""
+        return {}
+
+    def bind(self, simulator) -> None:
+        """Attach to the simulator about to run (default: nothing)."""
+
+    def check_system(self, system) -> None:
+        """Verify system-state properties at a quiescent point."""
+
+    def check_sample(self, system, sample: PeriodSample) -> None:
+        """Verify a period's freshly built metrics sample."""
+
+
+class InvariantOracle(FuzzOracle):
+    """The production oracle: protocol invariants + metric sanity.
+
+    ``check_system`` wraps
+    :meth:`~repro.core.protocol.ClashSystem.verify_invariants`;
+    ``check_sample`` re-runs it and then validates the period metrics
+    (loads, depths, rates, latency and shard fields must be finite, ordered
+    and non-negative).
+    """
+
+    name = "invariants"
+
+    def check_system(self, system) -> None:
+        try:
+            system.verify_invariants()
+        except OracleViolation:
+            raise
+        except AssertionError as error:
+            raise OracleViolation("invariants", str(error)) from error
+
+    def check_sample(self, system, sample: PeriodSample) -> None:
+        self.check_system(system)
+        for check, passed, detail in self._sample_checks(sample):
+            if not passed:
+                raise OracleViolation(check, detail)
+
+    @staticmethod
+    def _sample_checks(sample: PeriodSample):
+        """Yield ``(check name, passed, detail)`` for one period sample."""
+
+        def finite(*values: float) -> bool:
+            return all(math.isfinite(value) for value in values)
+
+        yield (
+            "metrics:load",
+            finite(sample.max_load_percent, sample.avg_load_percent)
+            and 0.0 <= sample.avg_load_percent <= sample.max_load_percent,
+            f"avg={sample.avg_load_percent} max={sample.max_load_percent} "
+            f"at t={sample.time}",
+        )
+        yield (
+            "metrics:depth",
+            finite(sample.min_depth, sample.avg_depth, sample.max_depth)
+            and sample.min_depth <= sample.avg_depth <= sample.max_depth,
+            f"min={sample.min_depth} avg={sample.avg_depth} "
+            f"max={sample.max_depth} at t={sample.time}",
+        )
+        yield (
+            "metrics:rates",
+            finite(sample.messages_per_server_per_second)
+            and sample.messages_per_server_per_second >= 0.0
+            and sample.splits >= 0
+            and sample.merges >= 0
+            and all(
+                finite(rate) and rate >= 0.0
+                for rate in sample.message_breakdown.values()
+            ),
+            f"msgs/server/s={sample.messages_per_server_per_second} "
+            f"splits={sample.splits} merges={sample.merges} at t={sample.time}",
+        )
+        yield (
+            "metrics:latency",
+            finite(sample.mean_message_latency)
+            and sample.mean_message_latency >= 0.0,
+            f"mean latency={sample.mean_message_latency} at t={sample.time}",
+        )
+        yield (
+            "metrics:churn",
+            sample.server_joins >= 0
+            and sample.server_failures >= 0
+            and sample.groups_reassigned >= 0
+            and sample.dropped_messages >= 0,
+            f"joins={sample.server_joins} failures={sample.server_failures} "
+            f"reassigned={sample.groups_reassigned} "
+            f"dropped={sample.dropped_messages} at t={sample.time}",
+        )
+        yield (
+            "metrics:shards",
+            sample.shard_count >= 1
+            and len(sample.shard_peak_loads) in (0, sample.shard_count)
+            and finite(sample.cross_shard_imbalance)
+            and sample.cross_shard_imbalance >= 0.0,
+            f"shard_count={sample.shard_count} "
+            f"peaks={len(sample.shard_peak_loads)} "
+            f"imbalance={sample.cross_shard_imbalance} at t={sample.time}",
+        )
+
+
+class TieWitnessOracle(FuzzOracle):
+    """Synthetic oracle: fails iff every witness tie draw exceeds a threshold.
+
+    With the default threshold 0.0 and a strictly-greater comparison, a
+    seeded-RNG recording fails with probability one (genuine uniform draws
+    are positive) while any schedule that *masks* one witness entry passes
+    (a masked tie replays the FIFO default 0.0).  Delta debugging on such a
+    failure therefore converges to exactly the witness entries — a known
+    minimal set the shrinker tests assert on.
+
+    Args:
+        indices: Tie-tape draw indices that must all exceed the threshold.
+        threshold: The strict lower bound on each witness draw.
+    """
+
+    name = "tie-witness"
+
+    def __init__(self, indices: Sequence[int], threshold: float = 0.0) -> None:
+        self.indices = tuple(sorted(int(index) for index in indices))
+        if not self.indices:
+            raise ValueError("tie-witness oracle needs at least one index")
+        self.threshold = float(threshold)
+        self._simulator = None
+
+    def params(self) -> dict:
+        return {"indices": list(self.indices), "threshold": self.threshold}
+
+    def bind(self, simulator) -> None:
+        self._simulator = simulator
+
+    def _draws(self) -> Sequence[float]:
+        if self._simulator is None:
+            return ()
+        source = getattr(self._simulator.transport, "ready_source", None)
+        return getattr(source, "draws", ())
+
+    def check_sample(self, system, sample: PeriodSample) -> None:
+        draws = self._draws()
+        if not draws or self.indices[-1] >= len(draws):
+            return
+        if all(draws[index] > self.threshold for index in self.indices):
+            raise OracleViolation(
+                "tie-witness",
+                f"tie draws at {list(self.indices)} all exceed "
+                f"{self.threshold} at t={sample.time}",
+            )
+
+
+ORACLES: dict[str, Callable[[Mapping], FuzzOracle]] = {
+    InvariantOracle.name: lambda params: InvariantOracle(),
+    TieWitnessOracle.name: lambda params: TieWitnessOracle(**params),
+}
+"""Oracle constructors by name; each takes the artifact's parameter dict."""
+
+
+def build_oracle(name: str, params: Mapping | None = None) -> FuzzOracle:
+    """Construct a *fresh* oracle instance by registry name."""
+    if name not in ORACLES:
+        raise ValueError(
+            f"unknown oracle {name!r}; expected one of {', '.join(sorted(ORACLES))}"
+        )
+    return ORACLES[name](dict(params or {}))

@@ -1,0 +1,128 @@
+"""Trace minimisation by ddmin delta debugging (Zeller & Hildebrandt).
+
+The shrinker works on an abstract list of *schedule events* — for this
+fuzzer, kept tie-tape entries and kept churn events — and a predicate that
+answers "does the schedule built from this subset still reproduce the
+failure?".  Classic ddmin: partition the failing set into ``n`` chunks, try
+each chunk and each complement, restart at coarse granularity on success,
+refine on failure, stop at 1-minimality (or when the test budget runs out —
+every predicate call replays a whole simulation, so the budget is real).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+__all__ = ["ShrinkResult", "ddmin"]
+
+Event = TypeVar("Event")
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one ddmin run.
+
+    Attributes:
+        kept: The minimised failing subset, in original order.
+        tests_run: Predicate evaluations performed (cache misses only).
+        minimal: True when ddmin proved 1-minimality — removing any single
+            kept event makes the failure disappear.  False when the test
+            budget ran out first; ``kept`` is still failing, just possibly
+            not minimal.
+    """
+
+    kept: list
+    tests_run: int
+    minimal: bool
+
+
+class _BudgetExhausted(Exception):
+    """Internal: the predicate budget ran out mid-search."""
+
+
+def ddmin(
+    events: Sequence[Event],
+    failing: Callable[[list[Event]], bool],
+    max_tests: int = 256,
+) -> ShrinkResult:
+    """Minimise ``events`` to a smaller subset on which ``failing`` holds.
+
+    Args:
+        events: The full failing schedule's events.  ``failing(list(events))``
+            must be true — the caller has already observed the failure.
+        failing: The reproduction predicate; called with candidate subsets
+            (always subsequences of ``events``, in original order).
+        max_tests: Budget of distinct predicate evaluations; repeated
+            candidates are served from a cache and cost nothing.
+
+    Returns:
+        A :class:`ShrinkResult` whose ``kept`` subset is failing, and
+        1-minimal when the budget sufficed.
+    """
+    current: list[Event] = list(events)
+    tests_run = 0
+    cache: dict[tuple[int, ...], bool] = {}
+    # Cache keys are index tuples into the original list, so events
+    # themselves never need to be hashable.
+    index_of = {id(event): index for index, event in enumerate(current)}
+
+    def check(candidate: list[Event]) -> bool:
+        nonlocal tests_run
+        key = tuple(index_of[id(event)] for event in candidate)
+        if key in cache:
+            return cache[key]
+        if tests_run >= max_tests:
+            raise _BudgetExhausted()
+        tests_run += 1
+        outcome = bool(failing(list(candidate)))
+        cache[key] = outcome
+        return outcome
+
+    if not current:
+        return ShrinkResult(kept=[], tests_run=0, minimal=True)
+
+    granularity = 2
+    try:
+        while len(current) >= 2:
+            chunk_size = len(current) / granularity
+            chunks = [
+                current[round(i * chunk_size) : round((i + 1) * chunk_size)]
+                for i in range(granularity)
+            ]
+            reduced = False
+            # Try each chunk alone ("reduce to subset") ...
+            for chunk in chunks:
+                if chunk and len(chunk) < len(current) and check(chunk):
+                    current = chunk
+                    granularity = 2
+                    reduced = True
+                    break
+            if reduced:
+                continue
+            # ... then each complement ("reduce to complement").
+            if granularity > 2:
+                for index in range(granularity):
+                    complement = [
+                        event
+                        for i, chunk in enumerate(chunks)
+                        if i != index
+                        for event in chunk
+                    ]
+                    if len(complement) < len(current) and check(complement):
+                        current = complement
+                        granularity = max(granularity - 1, 2)
+                        reduced = True
+                        break
+            if reduced:
+                continue
+            if granularity >= len(current):
+                # Every single-event removal was tested and failed to
+                # reproduce: current is 1-minimal.
+                return ShrinkResult(kept=current, tests_run=tests_run, minimal=True)
+            granularity = min(granularity * 2, len(current))
+    except _BudgetExhausted:
+        return ShrinkResult(kept=current, tests_run=tests_run, minimal=False)
+    # len(current) <= 1: nothing left to remove (the empty set is by
+    # definition passing — a failure needs at least the events it needs).
+    return ShrinkResult(kept=current, tests_run=tests_run, minimal=True)

@@ -23,12 +23,35 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import total_ordering
+from typing import Iterable, Optional, Tuple
 
 from repro.keys.identifier import IdentifierKey
 from repro.util.bitops import int_to_bits, pad_prefix_to_width
 from repro.util.validation import check_positive, check_type
 
-__all__ = ["KeyGroup"]
+__all__ = ["KeyGroup", "first_overlapping_pair"]
+
+
+def first_overlapping_pair(
+    groups: Iterable["KeyGroup"],
+) -> Optional[Tuple["KeyGroup", "KeyGroup"]]:
+    """The first overlapping pair among ``groups`` in sorted order, or ``None``.
+
+    A linear adjacent-pair scan suffices: groups sort by
+    ``(padded prefix value, depth)``, and if any two groups A < B overlap
+    (one is a prefix of the other) then every group X between them satisfies
+    ``A.padded <= X.padded <= B.padded <= A.padded + A.size - 1`` — the key
+    ``X.padded`` lies inside A, so X overlaps A too.  In particular A
+    overlaps its *immediate successor*, so a set with any overlap always has
+    an overlapping adjacent pair.  This makes prefix-freeness checking O(n)
+    after the sort (O(n²) pairwise before), cheap enough for the fuzzer to
+    run at every quiescent point.
+    """
+    ordered = sorted(groups)
+    for left, right in zip(ordered, ordered[1:]):
+        if left.overlaps(right):
+            return left, right
+    return None
 
 
 @total_ordering

@@ -30,12 +30,13 @@ from repro.net.latency import (
     ZeroLatency,
 )
 from repro.net.registry import TRANSPORT_KINDS, TRANSPORTS, TransportSpec, transport_spec
-from repro.net.transport import DeliveryFailed, Transport, TransportError
+from repro.net.transport import DELIVERY_LOG_LIMIT, DeliveryFailed, Transport, TransportError
 from repro.util.rng import RandomStream
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.asyncio_transport import AsyncTransport
     from repro.net.event import EventTransport
+    from repro.net.replay import ReplaySchedule, ReplayTransport
     from repro.sim.engine import SimulationEngine
 
 __all__ = [
@@ -49,6 +50,12 @@ __all__ = [
     "EventTransport",
     "BatchingTransport",
     "AsyncTransport",
+    "ReplayTransport",
+    "ReplaySchedule",
+    "ChurnEvent",
+    "TieRecorder",
+    "TieTape",
+    "DELIVERY_LOG_LIMIT",
     "LatencyModel",
     "ZeroLatency",
     "ConstantLatency",
@@ -75,6 +82,10 @@ def __getattr__(name: str):
         from repro.net.asyncio_transport import AsyncTransport
 
         return AsyncTransport
+    if name in ("ReplayTransport", "ReplaySchedule", "ChurnEvent", "TieRecorder", "TieTape"):
+        from repro.net import replay
+
+        return getattr(replay, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -110,6 +121,7 @@ def build_transport(
     per_hop_latency: float = 0.0,
     rng: RandomStream | None = None,
     ready_rng: RandomStream | None = None,
+    schedule: "ReplaySchedule | None" = None,
 ) -> Transport:
     """Construct a transport from the CLI-level description.
 
@@ -126,9 +138,14 @@ def build_transport(
         rng: Seeded stream used when ``latency_jitter`` is non-zero.
         ready_rng: Seeded stream for the ``async`` transport's ready-order
             tie-breaking (``None`` falls back to send-order).
+        schedule: Recorded schedule forced by the ``replay`` transport
+            (ignored by every other kind; ``None`` replays an empty tape,
+            i.e. deterministic FIFO).
     """
     spec = transport_spec(kind)
     latency: LatencyModel | None = None
     if spec.models_time:
         latency = _latency_model(link_latency, latency_jitter, per_hop_latency, rng)
-    return spec.factory(engine=engine, latency=latency, ready_rng=ready_rng)
+    return spec.factory(
+        engine=engine, latency=latency, ready_rng=ready_rng, schedule=schedule
+    )

@@ -96,8 +96,6 @@ class AsyncTransport(Transport):
         self._in_flight = 0
         self._delivery_error: BaseException | None = None
         self._latency_samples: list[float] = []
-        self.delivery_log: list[tuple[float, str, str]] = []
-        self.log_deliveries = False
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -121,6 +119,22 @@ class AsyncTransport(Transport):
     def set_latency_model(self, latency: LatencyModel) -> None:
         """Swap the latency model (scenario phases may override it)."""
         self._latency = latency
+
+    @property
+    def ready_source(self):
+        """The source the ready-order tie-break is drawn from (may be ``None``)."""
+        return self._ready_rng
+
+    def set_ready_source(self, source) -> None:
+        """Swap the tie-break source (anything with ``uniform(low, high)``).
+
+        The fuzz harness wraps the live source in a
+        :class:`~repro.net.replay.TieRecorder` before a recorded run, and a
+        :class:`~repro.net.replay.TieTape` replays a recording.  Swapping
+        mid-run splices the schedule at the current send, so install the
+        source before any traffic flows.
+        """
+        self._ready_rng = source
 
     def drain_latency_samples(self) -> list[float]:
         """Per-delivery (one-way) latencies recorded since the last drain."""

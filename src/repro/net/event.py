@@ -43,8 +43,6 @@ class EventTransport(Transport):
         self._latency = latency if latency is not None else ZeroLatency()
         self._in_flight = 0
         self._latency_samples: list[float] = []
-        self.delivery_log: list[tuple[float, str, str]] = []
-        self.log_deliveries = False
 
     @property
     def engine(self) -> SimulationEngine:

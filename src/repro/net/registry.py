@@ -101,6 +101,16 @@ def _build_async(
     return AsyncTransport(latency=latency, ready_rng=ready_rng)
 
 
+def _build_replay(
+    latency: "LatencyModel | None" = None,
+    schedule=None,
+    **_ignored,
+) -> "Transport":
+    from repro.net.replay import ReplayTransport
+
+    return ReplayTransport(schedule=schedule, latency=latency)
+
+
 TRANSPORTS: dict[str, TransportSpec] = {
     spec.kind: spec
     for spec in (
@@ -132,6 +142,13 @@ TRANSPORTS: dict[str, TransportSpec] = {
             summary="asyncio event loop with awaitable handlers, per-endpoint "
             "inboxes and seeded ready-order",
             factory=_build_async,
+            models_time=True,
+        ),
+        TransportSpec(
+            kind="replay",
+            summary="async delivery forced onto a recorded schedule tape "
+            "(fuzz repro artifacts; FIFO with an empty tape)",
+            factory=_build_replay,
             models_time=True,
         ),
     )

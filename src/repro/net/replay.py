@@ -1,0 +1,168 @@
+"""Schedule recording and forced-order replay for the adversarial fuzzer.
+
+The async transport's delivery order is a pure function of the *tie-break
+tape*: every ``send`` draws one tie-break value from the transport's ready
+source, and simultaneously-ready envelopes are released in tie-break order
+(:class:`~repro.net.asyncio_transport.AsyncTransport`).  Recording those
+draws therefore records the whole envelope-level schedule, and replaying the
+tape forces the exact same delivery order — bit for bit, without storing a
+single envelope.
+
+Three small pieces make that a replayable trace:
+
+* :class:`TieRecorder` — wraps the live ready source and remembers every
+  draw (the fuzzer installs it before a recorded run).
+* :class:`TieTape` — replays a (possibly *masked*) recording: entries kept
+  by the shrinker return their recorded value, everything else returns
+  ``0.0``, the FIFO default.  Masking a tie is how delta debugging removes
+  one reordering decision from a failing schedule.
+* :class:`ReplayTransport` — an :class:`AsyncTransport` whose ready source
+  is a :class:`TieTape`; registered in :data:`repro.net.TRANSPORTS` as
+  ``"replay"``.  With an empty tape it degrades to deterministic FIFO
+  delivery and passes the full golden-equivalence battery like any other
+  transport.
+
+Membership churn is the second scheduled dimension: a recorded run's
+executed join/failure events are captured as :class:`ChurnEvent` records
+(with the drawn node id / victim pinned), and
+:class:`~repro.sim.simulator.FlowSimulator` replays a
+:class:`ReplaySchedule`'s churn list verbatim instead of drawing fresh
+Poisson arrivals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.net.asyncio_transport import AsyncTransport
+from repro.net.latency import LatencyModel
+
+__all__ = [
+    "ChurnEvent",
+    "ReplaySchedule",
+    "ReplayTransport",
+    "TieRecorder",
+    "TieTape",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnEvent:
+    """One executed membership event, pinned for bit-identical replay.
+
+    Attributes:
+        when: Simulation time the event fired at (decides which period — or
+            which engine instant — replays it).
+        kind: ``"join"`` or ``"fail"``.
+        server: The joiner's name, or the failure victim.
+        node_id: The joiner's drawn DHT node id (``None`` for failures).
+            Pinning it means replay never touches the arrival RNG streams.
+    """
+
+    when: float
+    kind: str
+    server: str
+    node_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("join", "fail"):
+            raise ValueError(f"churn event kind must be 'join' or 'fail', got {self.kind!r}")
+
+    def to_json(self) -> list:
+        """A JSON-ready representation (stable field order)."""
+        return [self.when, self.kind, self.server, self.node_id]
+
+    @classmethod
+    def from_json(cls, data: Sequence) -> "ChurnEvent":
+        when, kind, server, node_id = data
+        return cls(when=float(when), kind=kind, server=server, node_id=node_id)
+
+
+@dataclass(frozen=True)
+class ReplaySchedule:
+    """A recorded (possibly shrunk) schedule a run can be forced onto.
+
+    Attributes:
+        ties: Sparse tie-break tape — draw index to recorded value.  Indices
+            absent from the mapping (masked by the shrinker, or beyond the
+            recording) draw the FIFO default ``0.0``.
+        churn: The membership events to execute, verbatim, instead of
+            drawing Poisson arrivals.  ``None`` leaves the simulator's own
+            churn model in charge (tape-only replay).
+    """
+
+    ties: Mapping[int, float] = field(default_factory=dict)
+    churn: tuple[ChurnEvent, ...] | None = None
+
+    @classmethod
+    def full(cls, ties: Sequence[float], churn: Sequence[ChurnEvent] | None) -> "ReplaySchedule":
+        """The unshrunk schedule: every recorded tie and churn event kept."""
+        return cls(
+            ties={index: value for index, value in enumerate(ties)},
+            churn=None if churn is None else tuple(churn),
+        )
+
+
+class TieRecorder:
+    """Records every tie-break draw while passing it through unchanged.
+
+    Wraps whatever ready source the transport already has (a seeded
+    :class:`~repro.util.rng.RandomStream`, or ``None`` for FIFO) so a
+    recorded run behaves exactly like an unrecorded one.
+    """
+
+    def __init__(self, source=None) -> None:
+        self._source = source
+        self.draws: list[float] = []
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        value = self._source.uniform(low, high) if self._source is not None else 0.0
+        self.draws.append(value)
+        return value
+
+
+class TieTape:
+    """Replays a sparse tie-break recording in draw order.
+
+    Draw ``i`` returns ``ties[i]`` when the shrinker kept that entry and the
+    FIFO default ``0.0`` otherwise, so a fully masked tape is exactly
+    send-order delivery.  The effective draws are kept in :attr:`draws` for
+    oracles that inspect the schedule.
+    """
+
+    def __init__(self, ties: Mapping[int, float] | None = None) -> None:
+        self._ties = dict(ties) if ties else {}
+        self.draws: list[float] = []
+
+    def uniform(self, low: float = 0.0, high: float = 1.0) -> float:
+        value = self._ties.get(len(self.draws), 0.0)
+        self.draws.append(value)
+        return value
+
+
+class ReplayTransport(AsyncTransport):
+    """An async transport whose delivery order is forced by a recorded tape.
+
+    Args:
+        schedule: The schedule to force (only its :attr:`ReplaySchedule.ties`
+            tape concerns the transport; churn replay is the simulator's
+            job).  ``None`` — or an empty tape — yields deterministic FIFO
+            delivery.
+        latency: Latency model, exactly as for :class:`AsyncTransport`.
+    """
+
+    def __init__(
+        self,
+        schedule: ReplaySchedule | None = None,
+        latency: LatencyModel | None = None,
+    ) -> None:
+        # NB: AsyncTransport uses ``_schedule`` as its calendar-insert
+        # method; the forced schedule must live under a different name.
+        self._replay_schedule = schedule if schedule is not None else ReplaySchedule()
+        super().__init__(latency=latency, ready_rng=TieTape(self._replay_schedule.ties))
+
+    @property
+    def schedule(self) -> ReplaySchedule:
+        """The schedule this transport is forcing."""
+        return self._replay_schedule

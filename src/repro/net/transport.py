@@ -21,11 +21,25 @@ Three interchangeable implementations ship with the package:
 from __future__ import annotations
 
 import abc
+from collections import deque
 from typing import Callable
 
 from repro.net.envelope import Delivery, DhtAddress, Envelope
 
-__all__ = ["DeliveryFailed", "Handler", "RouteResolver", "Transport", "TransportError"]
+__all__ = [
+    "DELIVERY_LOG_LIMIT",
+    "DeliveryFailed",
+    "Handler",
+    "RouteResolver",
+    "Transport",
+    "TransportError",
+]
+
+DELIVERY_LOG_LIMIT = 65536
+"""Default ring-buffer capacity of :attr:`Transport.delivery_log`.  Recording
+is opt-in and, once enabled, bounded: a paper-scale run with the log left on
+keeps the most recent entries instead of accumulating one tuple per delivery
+for the whole run."""
 
 Handler = Callable[[Envelope], object]
 """An endpoint's message handler: receives an envelope, returns the reply
@@ -88,6 +102,37 @@ class Transport(abc.ABC):
         #: transports never defer, so they never drop; the event and batching
         #: transports count their in-flight losses here symmetrically.
         self.dropped_messages = 0
+        #: Ring buffer of ``(time, server, payload type name)`` entries, one
+        #: per delivery, appended by the transports that model time while
+        #: :attr:`log_deliveries` is on (see :meth:`enable_delivery_log`).
+        self.delivery_log: deque[tuple[float, str, str]] = deque(
+            maxlen=DELIVERY_LOG_LIMIT
+        )
+        #: Whether deliveries are recorded into :attr:`delivery_log`
+        #: (off by default — recording is opt-in for the fuzzer and tests).
+        self.log_deliveries = False
+
+    # ------------------------------------------------------------------ #
+    # Delivery recording
+    # ------------------------------------------------------------------ #
+
+    def enable_delivery_log(self, limit: int | None = DELIVERY_LOG_LIMIT) -> None:
+        """Turn on delivery recording with a fresh ring buffer.
+
+        Args:
+            limit: Ring-buffer capacity — only the most recent ``limit``
+                deliveries are kept.  ``None`` removes the bound (short
+                diagnostic runs that need the complete schedule).
+        """
+        if limit is not None and limit <= 0:
+            raise ValueError(f"delivery log limit must be positive, got {limit}")
+        self.delivery_log = deque(maxlen=limit)
+        self.log_deliveries = True
+
+    def disable_delivery_log(self) -> None:
+        """Stop recording and drop the buffered entries."""
+        self.log_deliveries = False
+        self.delivery_log = deque(maxlen=DELIVERY_LOG_LIMIT)
 
     # ------------------------------------------------------------------ #
     # Endpoint management

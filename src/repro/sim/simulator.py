@@ -30,6 +30,7 @@ from repro.core.config import ClashConfig
 from repro.core.messages import MessageCategory
 from repro.core.protocol import ClashSystem
 from repro.net import TRANSPORT_KINDS, ConstantLatency, build_transport, transport_spec
+from repro.net.replay import ChurnEvent, ReplaySchedule
 from repro.sim.engine import SimulationEngine
 from repro.sim.loadmeasure import LoadMeasure
 from repro.sim.metrics import (
@@ -98,6 +99,17 @@ class SimulationParams:
             outcomes are identical either way (the incremental repair is
             bit-exact); this is the reference mode the equivalence suite and
             the paper-scale benchmark compare against.
+        verify_invariants: Run :meth:`~repro.core.protocol.ClashSystem.\
+verify_invariants` after every membership event and at every period
+            boundary.  Off by default (it is pure overhead on a healthy run);
+            the churn test suites and the schedule fuzzer turn it on.
+        delivery_seed: Independent seed for the async transport's ready-order
+            tie-breaking.  ``None`` derives the stream from ``seed`` as
+            before (bit-identical to prior behaviour); setting it lets the
+            fuzzer sweep delivery schedules without touching the workload.
+        churn_seed: Independent seed for the Poisson join/failure arrival
+            streams.  ``None`` derives them from ``seed`` as before; setting
+            it lets the fuzzer sweep churn timings independently.
     """
 
     server_count: int = 100
@@ -115,9 +127,17 @@ class SimulationParams:
     per_hop_latency: float = 0.0
     shards: int = 1
     force_full_stabilise: bool = False
+    verify_invariants: bool = False
+    delivery_seed: int | None = None
+    churn_seed: int | None = None
 
     def __post_init__(self) -> None:
         check_type("force_full_stabilise", self.force_full_stabilise, bool)
+        check_type("verify_invariants", self.verify_invariants, bool)
+        for name in ("delivery_seed", "churn_seed"):
+            value = getattr(self, name)
+            if value is not None:
+                check_type(name, value, int)
         check_type("server_count", self.server_count, int)
         check_type("source_count", self.source_count, int)
         check_type("query_client_count", self.query_client_count, int)
@@ -241,6 +261,13 @@ class FlowSimulator:
         fixed_depth: When set, run the non-adaptive baseline ``DHT(fixed_depth)``
             instead of CLASH — the key space is partitioned once at that depth
             and load checks are disabled.
+        schedule: A recorded :class:`~repro.net.replay.ReplaySchedule` to
+            force this run onto.  Its tie tape drives the ``replay`` transport
+            and, when :attr:`~repro.net.replay.ReplaySchedule.churn` is set,
+            the recorded membership events are executed verbatim (with their
+            recorded names and node ids) *instead of* drawing fresh Poisson
+            arrivals — the churn RNG streams are never consumed, so the replay
+            is a pure function of the schedule.
     """
 
     def __init__(
@@ -249,6 +276,7 @@ class FlowSimulator:
         params: SimulationParams,
         scenario: PhasedScenario,
         fixed_depth: int | None = None,
+        schedule: ReplaySchedule | None = None,
     ) -> None:
         check_type("config", config, ClashConfig)
         check_type("params", params, SimulationParams)
@@ -267,6 +295,12 @@ class FlowSimulator:
             )
         self._config = config
         seeds = SeedSequenceFactory(params.seed)
+        # The delivery-order axis is independently seedable: the fuzzer
+        # sweeps tie-break schedules without perturbing any workload stream.
+        if params.delivery_seed is not None:
+            ready_stream = SeedSequenceFactory(params.delivery_seed).stream("async-ready")
+        else:
+            ready_stream = seeds.stream("async-ready")
         # The registry decides the execution model: transports that need the
         # discrete-event engine get one (and scenario churn runs on it);
         # clock-less transports — and the async transport, which owns its own
@@ -281,7 +315,8 @@ class FlowSimulator:
             latency_jitter=params.latency_jitter,
             per_hop_latency=params.per_hop_latency,
             rng=seeds.stream("latency"),
-            ready_rng=seeds.stream("async-ready"),
+            ready_rng=ready_stream,
+            schedule=schedule,
         )
         self._system = ClashSystem.create(
             config,
@@ -298,25 +333,48 @@ class FlowSimulator:
         # Poisson-arrival churn within phases.  Joins and failures draw from
         # their own named streams so enabling one never perturbs the other
         # (or any pre-existing stream: a churn-free run is byte-identical).
-        self._join_rng = seeds.stream("join-arrivals")
-        self._fail_rng = seeds.stream("fail-arrivals")
-        self._pending_churn: list[tuple[float, int, str]] = []
+        # The churn timing axis, like delivery order, is independently
+        # seedable for the fuzzer's sweeps.
+        churn_seeds = (
+            SeedSequenceFactory(params.churn_seed)
+            if params.churn_seed is not None
+            else seeds
+        )
+        self._join_rng = churn_seeds.stream("join-arrivals")
+        self._fail_rng = churn_seeds.stream("fail-arrivals")
+        # Forced churn: a replay schedule carrying recorded membership events
+        # supersedes the Poisson streams entirely (see ``schedule`` above).
+        self._forced_churn: tuple[ChurnEvent, ...] | None = (
+            schedule.churn if schedule is not None else None
+        )
+        self._forced_churn_installed = False
+        self._pending_churn: list[tuple[float, int, str | ChurnEvent]] = []
         # Engine-scheduled churn can fire in the middle of a protocol
         # exchange (the request pumps the kernel), when the system is in a
         # legitimately half-transferred state that must not be mutated or
         # invariant-checked.  Events arriving in an unsafe window are
         # deferred and applied at the next quiescent point.
         self._churn_safe = True
-        self._deferred_churn: list[str] = []
+        self._deferred_churn: list[tuple[str | ChurnEvent, float]] = []
         self._join_counter = 0
         self._period_joins = 0
         self._period_failures = 0
         self._period_reassigned = 0
         self._dropped_seen = 0
         #: When True, every membership event is followed by a full
-        #: ClashSystem.verify_invariants() pass (the churn test suites set
-        #: this; it is too expensive for production-scale runs).
-        self.verify_after_membership = False
+        #: ClashSystem.verify_invariants() pass (``params.verify_invariants``
+        #: sets it; the churn test suites also flip it directly).
+        self.verify_after_membership = params.verify_invariants
+        #: When True, every *executed* Poisson membership event is appended
+        #: to :attr:`churn_log` as a replayable ChurnEvent with its drawn
+        #: name/node id pinned (the fuzz harness turns this on).
+        self.record_churn = False
+        self.churn_log: list[ChurnEvent] = []
+        # Fuzz oracle hooks (see set_oracles): called at every quiescent
+        # point — after membership events, after each balance iteration, and
+        # at period boundaries.  None means no oracle is installed.
+        self._invariant_oracle = None
+        self._sample_oracle = None
         self._phase_index: int | None = None
         self._measures: dict[str, LoadMeasure] = {}
         first_spec = scenario.workload_at(0.0)
@@ -371,6 +429,25 @@ class FlowSimulator:
         if self._fixed_depth is None:
             return "CLASH"
         return f"DHT({self._fixed_depth})"
+
+    def set_oracles(self, invariant=None, sample=None) -> None:
+        """Install fuzz-oracle callbacks fired at quiescent points.
+
+        Args:
+            invariant: ``callback(system)`` — called after every membership
+                event, after every balance iteration's load check, and at
+                each period boundary.  Raise to flag a violation.
+            sample: ``callback(system, period_sample)`` — called once per
+                period with the freshly built
+                :class:`~repro.sim.metrics.PeriodSample` (metric sanity
+                checks live here).
+        """
+        self._invariant_oracle = invariant
+        self._sample_oracle = sample
+
+    def _check_invariant_oracle(self) -> None:
+        if self._invariant_oracle is not None:
+            self._invariant_oracle(self._system)
 
     # ------------------------------------------------------------------ #
     # Load assignment
@@ -520,6 +597,7 @@ class FlowSimulator:
                 self._period_reassigned += len(reassigned)
                 if self.verify_after_membership:
                     self._system.verify_invariants()
+                self._check_invariant_oracle()
         self._schedule_poisson_churn(phase, self._scenario.phase_boundaries()[index])
 
     # ------------------------------------------------------------------ #
@@ -536,7 +614,13 @@ class FlowSimulator:
         middle of a message exchange, which is exactly the in-flight-loss
         case the transport must survive); the inline and batching transports,
         which have no clock, drain them at period boundaries.
+
+        A forced replay schedule supersedes the Poisson streams entirely:
+        nothing is drawn (the arrival *and* identity draws share the churn
+        streams, so even sampling timings would desynchronise a replay).
         """
+        if self._forced_churn is not None:
+            return
         events: list[tuple[float, int, str]] = []
         for rate, priority, kind, rng in (
             (phase.join_rate, 0, "join", self._join_rng),
@@ -555,19 +639,44 @@ class FlowSimulator:
             for when, _priority, kind in events:
                 self._engine.schedule_at(
                     max(self._engine.now, when),
-                    lambda now, kind=kind: self._apply_churn_event(kind),
+                    lambda now, kind=kind: self._apply_churn_event(kind, now),
                     label=f"churn-{kind}",
                 )
         else:
             self._pending_churn.extend(events)
 
+    def _install_forced_churn(self) -> None:
+        """Queue a replay schedule's recorded membership events (run start).
+
+        The list index keeps simultaneous events in recorded order on both
+        execution models: clock-less transports sort ``(when, index)`` pairs
+        and the engine orders same-time events by schedule sequence.
+        """
+        if self._forced_churn is None or self._forced_churn_installed:
+            return
+        self._forced_churn_installed = True
+        ordered = sorted(
+            enumerate(self._forced_churn), key=lambda item: (item[1].when, item[0])
+        )
+        if self._engine is not None:
+            for _index, event in ordered:
+                self._engine.schedule_at(
+                    max(self._engine.now, event.when),
+                    lambda now, event=event: self._apply_churn_event(event, event.when),
+                    label=f"churn-{event.kind}",
+                )
+        else:
+            self._pending_churn.extend(
+                (event.when, index, event) for index, event in ordered
+            )
+
     def _drain_pending_churn(self, horizon: float) -> None:
         """Apply queued churn events that arrived at or before ``horizon``."""
         while self._pending_churn and self._pending_churn[0][0] <= horizon:
-            _when, _priority, kind = self._pending_churn.pop(0)
-            self._apply_churn_event(kind)
+            when, _priority, kind = self._pending_churn.pop(0)
+            self._apply_churn_event(kind, when)
 
-    def _apply_churn_event(self, kind: str) -> None:
+    def _apply_churn_event(self, kind: str | ChurnEvent, when: float) -> None:
         """Execute one membership event at the next safe moment.
 
         A churn event delivered while a protocol exchange is in flight (or
@@ -576,13 +685,13 @@ class FlowSimulator:
         same period's accounting.
         """
         if not self._churn_safe:
-            self._deferred_churn.append(kind)
+            self._deferred_churn.append((kind, when))
             return
         self._churn_safe = False
         try:
-            self._execute_churn_event(kind)
+            self._execute_churn_event(kind, when)
             while self._deferred_churn:
-                self._execute_churn_event(self._deferred_churn.pop(0))
+                self._execute_churn_event(*self._deferred_churn.pop(0))
         finally:
             self._churn_safe = True
 
@@ -593,11 +702,46 @@ class FlowSimulator:
         and then consumes the rest of the queue itself.
         """
         if self._deferred_churn:
-            self._apply_churn_event(self._deferred_churn.pop(0))
+            self._apply_churn_event(*self._deferred_churn.pop(0))
 
-    def _execute_churn_event(self, kind: str) -> None:
-        """Execute one membership event (a server join or failure)."""
-        if kind == "join":
+    def _execute_churn_event(self, kind: str | ChurnEvent, when: float) -> None:
+        """Execute one membership event (a server join or failure).
+
+        ``kind`` is either a bare ``"join"``/``"fail"`` string — the live
+        Poisson path, which draws the joining node's id or the victim from
+        the churn streams — or a recorded :class:`ChurnEvent`, the replay
+        path, which executes the pinned identity verbatim and never touches
+        an RNG.  A forced event whose precondition no longer holds (node id
+        taken, victim already gone, last server of its shard) is skipped
+        deterministically: a shrunk schedule stays replayable even when
+        earlier events it depended on were removed.
+        """
+        if isinstance(kind, ChurnEvent):
+            event = kind
+            if event.kind == "join":
+                if (
+                    event.node_id is None
+                    or event.server in self._system.server_names()
+                    or event.node_id in set(self._system.router.node_ids())
+                ):
+                    return
+                handed_off = self._system.handle_server_join(
+                    event.server, node_id=event.node_id
+                )
+                self._period_joins += 1
+                self._period_reassigned += len(handed_off)
+            else:
+                names = self._system.server_names()
+                if (
+                    event.server not in names
+                    or len(names) <= 1
+                    or not self._system.can_remove_server(event.server)
+                ):
+                    return
+                reassigned = self._system.handle_server_failure(event.server)
+                self._period_failures += 1
+                self._period_reassigned += len(reassigned)
+        elif kind == "join":
             name = f"j{self._join_counter}"
             self._join_counter += 1
             bits = self._config.hash_bits
@@ -608,6 +752,10 @@ class FlowSimulator:
             handed_off = self._system.handle_server_join(name, node_id=node_id)
             self._period_joins += 1
             self._period_reassigned += len(handed_off)
+            if self.record_churn:
+                self.churn_log.append(
+                    ChurnEvent(when=when, kind="join", server=name, node_id=node_id)
+                )
         else:
             names = sorted(self._system.server_names())
             if len(names) <= 1:
@@ -622,8 +770,13 @@ class FlowSimulator:
             reassigned = self._system.handle_server_failure(victim)
             self._period_failures += 1
             self._period_reassigned += len(reassigned)
+            if self.record_churn:
+                self.churn_log.append(
+                    ChurnEvent(when=when, kind="fail", server=victim, node_id=None)
+                )
         if self.verify_after_membership:
             self._system.verify_invariants()
+        self._check_invariant_oracle()
 
     # ------------------------------------------------------------------ #
     # Protocol reaction within one period
@@ -648,6 +801,9 @@ class FlowSimulator:
             )
             self._pending_dirty |= report.touched_groups
             self._pending_retired.extend(report.retired_assignments)
+            # The load check has returned: the configuration is momentarily
+            # quiescent, a legal point for the fuzz oracle.
+            self._check_invariant_oracle()
             if report.split_count == 0 and report.merge_count == 0:
                 break
             splits += report.split_count
@@ -710,6 +866,7 @@ class FlowSimulator:
         """Run the full scenario and return the collected metrics."""
         period = self._config.load_check_period
         duration = self._scenario.total_duration
+        self._install_forced_churn()
         time = 0.0
         while time < duration:
             period_end = min(time + period, duration)
@@ -791,6 +948,14 @@ class FlowSimulator:
             self._period_failures = 0
             self._period_reassigned = 0
             self._recorder.record(sample)
+            # Period boundary: the canonical quiescent point.  The knob runs
+            # the full invariant pass; installed fuzz oracles additionally
+            # see the system and the freshly built sample.
+            if self._params.verify_invariants:
+                self._system.verify_invariants()
+            self._check_invariant_oracle()
+            if self._sample_oracle is not None:
+                self._sample_oracle(self._system, sample)
             time = period_end
         return SimulationResult(
             label=self.label,

@@ -1,0 +1,132 @@
+"""The whole fuzz loop: seeded violation → shrink → artifact → replay.
+
+The tie-witness oracle makes the minimal failing schedule *predictable*:
+with threshold 0.0 a seeded-RNG recording always fails (genuine uniform
+draws are positive), masking any witness entry replays it as FIFO 0.0 and
+the failure disappears — so ddmin must converge to exactly the witness tie
+entries, and the packaged artifact must reproduce on replay.
+"""
+
+from __future__ import annotations
+
+from repro.cli import main
+from repro.fuzz import (
+    FuzzPlan,
+    ReproArtifact,
+    enumerate_cases,
+    render_report,
+    replay_artifact,
+    run_fuzz,
+)
+
+WITNESS = {"indices": [2, 9], "threshold": 0.0}
+
+
+def _witness_plan(**overrides) -> FuzzPlan:
+    values = dict(
+        transports=("async",),
+        shards=(1,),
+        seeds=(0,),
+        churn_rates=((0.0, 0.0),),
+        budget=1,
+        scale_factor=100,
+        phase_periods=1,
+        oracle="tie-witness",
+        oracle_params=dict(WITNESS),
+        shrink_budget=128,
+    )
+    values.update(overrides)
+    return FuzzPlan(**values)
+
+
+class TestEnumeration:
+    def test_budget_truncates_grid(self):
+        plan = FuzzPlan(budget=5)
+        assert len(enumerate_cases(plan)) == 5
+
+    def test_seed_major_order_covers_structure_first(self):
+        plan = FuzzPlan(
+            transports=("async", "event"), shards=(1, 2), seeds=(0, 1), budget=8
+        )
+        cases = enumerate_cases(plan)
+        # The first 8 cases all use the first seed but span every
+        # transport/shard/churn combination.
+        assert len({case.seed for case in cases}) == 1
+        assert {case.transport for case in cases} == {"async", "event"}
+        assert {case.shards for case in cases} == {1, 2}
+
+    def test_delivery_seed_only_on_async(self):
+        plan = FuzzPlan(transports=("async", "event"), budget=1000)
+        for case in enumerate_cases(plan):
+            if case.transport == "async":
+                assert case.delivery_seed is not None
+            else:
+                assert case.delivery_seed is None
+
+
+class TestSeededViolationEndToEnd:
+    def test_shrinks_to_witness_set_and_artifact_replays(self, tmp_path):
+        report = run_fuzz(_witness_plan(), output_dir=tmp_path)
+        assert report.cases_run == 1
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.check == "tie-witness"
+        artifact = finding.artifact
+
+        # The minimal schedule is exactly the witness tie entries.
+        assert sorted(artifact.ties) == WITNESS["indices"]
+        assert artifact.minimal_events == len(WITNESS["indices"])
+        assert artifact.shrink_minimal
+        assert artifact.original_events > artifact.minimal_events
+
+        # The artifact on disk replays to the same violation.
+        assert finding.artifact_path is not None
+        loaded = ReproArtifact.load(finding.artifact_path)
+        outcome = replay_artifact(loaded)
+        assert outcome.violation is not None
+        assert outcome.violation.check == "tie-witness"
+
+        # And the report renders the finding.
+        text = render_report(report)
+        assert "tie-witness" in text
+        assert "1 violation(s)" in text
+
+    def test_fuzz_is_deterministic(self, tmp_path):
+        first = run_fuzz(_witness_plan(), output_dir=tmp_path / "a")
+        second = run_fuzz(_witness_plan(), output_dir=tmp_path / "b")
+        a = first.findings[0].artifact_path.read_text()
+        b = second.findings[0].artifact_path.read_text()
+        assert a == b
+
+    def test_clean_sweep_reports_no_findings(self, tmp_path):
+        plan = _witness_plan(oracle="invariants", oracle_params={})
+        report = run_fuzz(plan, output_dir=tmp_path)
+        assert report.clean
+        assert "No oracle violations found" in render_report(report)
+        assert not list(tmp_path.glob("fuzz-*.json"))
+
+
+class TestCli:
+    def test_fuzz_command_exit_codes(self, tmp_path):
+        base = [
+            "--scale-factor", "100", "--phase-periods", "1",
+            "--fuzz-budget", "1", "--fuzz-seeds", "0:1",
+            "--fuzz-transports", "async", "--fuzz-shards", "1",
+            "--join-rate", "0", "--fail-rate", "0",
+            "--quiet", "--output-dir", str(tmp_path),
+        ]
+        assert main(["fuzz", *base]) == 0
+        assert (tmp_path / "fuzz.txt").exists()
+
+    def test_repro_command_round_trip(self, tmp_path):
+        report = run_fuzz(_witness_plan(), output_dir=tmp_path)
+        artifact_path = report.findings[0].artifact_path
+        assert (
+            main(["repro", "--artifact", str(artifact_path), "--quiet"]) == 0
+        )
+
+    def test_repro_command_fails_without_artifact(self):
+        import pytest
+
+        with pytest.raises(SystemExit):
+            main(["repro", "--quiet"])

@@ -1,0 +1,98 @@
+"""FuzzCase round trips and record→replay bit-identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.harness import FuzzCase, run_case
+from repro.fuzz.oracle import build_oracle
+from repro.net.replay import ReplaySchedule, ReplayTransport
+
+
+class TestFuzzCase:
+    def test_dict_round_trip(self):
+        case = FuzzCase(
+            transport="event",
+            seed=99,
+            delivery_seed=None,
+            churn_seed=7,
+            join_rate=0.02,
+            fail_rate=0.01,
+            shards=2,
+            scale_factor=50,
+            phase_periods=3,
+        )
+        assert FuzzCase.from_dict(case.to_dict()) == case
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            FuzzCase.from_dict({"transport": "async", "warp_factor": 9})
+
+    def test_case_id_distinguishes_axes(self):
+        base = FuzzCase(transport="async", seed=1)
+        assert base.case_id() != FuzzCase(transport="async", seed=2).case_id()
+        assert (
+            FuzzCase(transport="async", seed=1, delivery_seed=5).case_id()
+            != base.case_id()
+        )
+        assert FuzzCase(transport="async", seed=1, shards=4).case_id() != base.case_id()
+
+    def test_scale_carries_case_axes(self):
+        case = FuzzCase(
+            transport="event", seed=42, join_rate=0.05, fail_rate=0.01, shards=2
+        )
+        scale = case.scale()
+        assert scale.transport == "event"
+        assert scale.seed == 42
+        assert scale.join_rate == 0.05
+        assert scale.shards == 2
+
+    def test_replay_build_swaps_async_to_replay_transport(self):
+        case = FuzzCase(transport="async", scale_factor=100, phase_periods=1)
+        simulator = case.build_simulator(schedule=ReplaySchedule())
+        try:
+            assert isinstance(simulator.transport, ReplayTransport)
+        finally:
+            simulator.transport.close()
+
+
+class TestRecordReplayBitIdentity:
+    @pytest.mark.parametrize("transport", ["async", "event"])
+    def test_churned_run_replays_bit_identically(self, transport):
+        case = FuzzCase(
+            transport=transport,
+            seed=20040324,
+            delivery_seed=11 if transport == "async" else None,
+            churn_seed=3,
+            join_rate=0.01,
+            fail_rate=0.01,
+            scale_factor=100,
+            phase_periods=1,
+        )
+        recorded = run_case(case, oracle=build_oracle("invariants"), record=True)
+        assert recorded.violation is None
+        assert recorded.result is not None
+        assert recorded.trace.churn  # churn rates high enough to fire events
+        replayed = run_case(
+            case,
+            oracle=build_oracle("invariants"),
+            schedule=recorded.trace.schedule(),
+        )
+        assert replayed.violation is None
+        assert replayed.result.diff(recorded.result) == []
+
+    def test_recording_captures_tie_draws_on_async(self):
+        case = FuzzCase(
+            transport="async", delivery_seed=5, scale_factor=100, phase_periods=1
+        )
+        recorded = run_case(case, record=True)
+        assert len(recorded.trace.ties) > 0
+        assert all(0.0 <= value <= 1.0 for value in recorded.trace.ties)
+        assert recorded.trace.deliveries  # the delivery ring buffer was on
+
+    def test_unrecorded_run_keeps_trace_empty(self):
+        case = FuzzCase(transport="async", scale_factor=100, phase_periods=1)
+        outcome = run_case(case)
+        assert outcome.trace.ties == ()
+        assert outcome.trace.churn is None
+        assert outcome.violation is None

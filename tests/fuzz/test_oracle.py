@@ -1,0 +1,144 @@
+"""Oracle behaviour: the invariant oracle, metric sanity, tie-witness."""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.core.config import ClashConfig
+from repro.core.protocol import ClashSystem
+from repro.fuzz.oracle import (
+    ORACLES,
+    InvariantOracle,
+    OracleViolation,
+    TieWitnessOracle,
+    build_oracle,
+)
+from repro.sim.metrics import PeriodSample
+from repro.util.rng import RandomStream
+
+
+def _healthy_sample(**overrides) -> PeriodSample:
+    values = dict(
+        time=300.0,
+        workload="A",
+        max_load_percent=60.0,
+        avg_load_percent=40.0,
+        active_servers=10,
+        min_depth=4.0,
+        avg_depth=5.5,
+        max_depth=8.0,
+        splits=2,
+        merges=1,
+        messages_per_server_per_second=0.5,
+        message_breakdown={"LOOKUP": 0.1},
+        mean_message_latency=0.01,
+    )
+    values.update(overrides)
+    return PeriodSample(**values)
+
+
+@pytest.fixture
+def small_system() -> ClashSystem:
+    system = ClashSystem.create(
+        ClashConfig.small_scale(), server_count=4, rng=RandomStream(7)
+    )
+    return system
+
+
+class TestInvariantOracle:
+    def test_healthy_system_passes(self, small_system):
+        oracle = InvariantOracle()
+        oracle.check_system(small_system)
+        oracle.check_sample(small_system, _healthy_sample())
+
+    def test_assertion_becomes_typed_violation(self, small_system):
+        oracle = InvariantOracle()
+        # Corrupt the ownership registry behind the servers' backs: register
+        # a child of an active group, creating an overlapping pair.
+        group = next(iter(small_system.active_groups()))
+        owner = small_system._group_owner[group]
+        small_system._group_owner[group.child(0)] = owner
+        with pytest.raises(OracleViolation) as info:
+            oracle.check_system(small_system)
+        assert info.value.check == "invariants"
+
+    @pytest.mark.parametrize(
+        "overrides, check",
+        [
+            ({"avg_load_percent": 70.0, "max_load_percent": 60.0}, "metrics:load"),
+            ({"max_load_percent": math.nan}, "metrics:load"),
+            ({"avg_depth": 3.0, "min_depth": 4.0}, "metrics:depth"),
+            ({"messages_per_server_per_second": -1.0}, "metrics:rates"),
+            ({"message_breakdown": {"LOOKUP": math.inf}}, "metrics:rates"),
+            ({"mean_message_latency": -0.5}, "metrics:latency"),
+            ({"dropped_messages": -1}, "metrics:churn"),
+            ({"server_failures": -2}, "metrics:churn"),
+            ({"shard_count": 4, "shard_peak_loads": (1.0, 2.0)}, "metrics:shards"),
+            ({"cross_shard_imbalance": -1.0}, "metrics:shards"),
+        ],
+    )
+    def test_metric_sanity_checks(self, small_system, overrides, check):
+        oracle = InvariantOracle()
+        with pytest.raises(OracleViolation) as info:
+            oracle.check_sample(small_system, _healthy_sample(**overrides))
+        assert info.value.check == check
+
+
+class _FakeSimulator:
+    """Just enough simulator surface for the tie-witness oracle."""
+
+    def __init__(self, draws):
+        self.transport = dataclasses.make_dataclass("T", ["ready_source"])(
+            ready_source=dataclasses.make_dataclass("S", ["draws"])(draws=draws)
+        )
+
+
+class TestTieWitnessOracle:
+    def test_fires_when_all_witnesses_exceed_threshold(self):
+        oracle = TieWitnessOracle(indices=[1, 3], threshold=0.0)
+        oracle.bind(_FakeSimulator([0.5, 0.9, 0.1, 0.7]))
+        with pytest.raises(OracleViolation) as info:
+            oracle.check_sample(None, _healthy_sample())
+        assert info.value.check == "tie-witness"
+
+    def test_passes_when_a_witness_is_masked_to_fifo(self):
+        oracle = TieWitnessOracle(indices=[1, 3], threshold=0.0)
+        oracle.bind(_FakeSimulator([0.5, 0.9, 0.1, 0.0]))
+        oracle.check_sample(None, _healthy_sample())
+
+    def test_passes_before_enough_draws_exist(self):
+        oracle = TieWitnessOracle(indices=[10], threshold=0.0)
+        oracle.bind(_FakeSimulator([0.5, 0.9]))
+        oracle.check_sample(None, _healthy_sample())
+
+    def test_requires_indices(self):
+        with pytest.raises(ValueError):
+            TieWitnessOracle(indices=[])
+
+
+class TestRegistry:
+    def test_build_by_name(self):
+        assert isinstance(build_oracle("invariants"), InvariantOracle)
+        witness = build_oracle("tie-witness", {"indices": [4], "threshold": 0.25})
+        assert isinstance(witness, TieWitnessOracle)
+        assert witness.indices == (4,)
+        assert witness.threshold == 0.25
+
+    def test_fresh_instance_per_build(self):
+        assert build_oracle("invariants") is not build_oracle("invariants")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            build_oracle("psychic")
+
+    def test_params_round_trip(self):
+        params = {"indices": [2, 9], "threshold": 0.0}
+        oracle = build_oracle("tie-witness", params)
+        assert build_oracle(oracle.name, oracle.params()).params() == oracle.params()
+
+    def test_registry_names_match(self):
+        for name in ORACLES:
+            assert build_oracle(name, {"indices": [0]} if name == "tie-witness" else {}).name == name

@@ -1,0 +1,81 @@
+"""ddmin delta-debugging correctness on synthetic predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.shrink import ddmin
+
+
+def _superset_predicate(required: set):
+    """Fails iff the candidate contains every required event."""
+    calls = []
+
+    def failing(subset):
+        calls.append(tuple(subset))
+        return required <= set(subset)
+
+    failing.calls = calls
+    return failing
+
+
+class TestDdmin:
+    def test_single_culprit(self):
+        events = list(range(64))
+        result = ddmin(events, _superset_predicate({17}), max_tests=512)
+        assert result.kept == [17]
+        assert result.minimal
+
+    def test_multiple_culprits_preserve_order(self):
+        events = list(range(40))
+        result = ddmin(events, _superset_predicate({3, 21, 38}), max_tests=1024)
+        assert result.kept == [3, 21, 38]
+        assert result.minimal
+
+    def test_all_events_required(self):
+        events = list(range(8))
+        result = ddmin(events, _superset_predicate(set(events)), max_tests=1024)
+        assert result.kept == events
+        assert result.minimal
+
+    def test_empty_input(self):
+        result = ddmin([], lambda subset: True, max_tests=10)
+        assert result.kept == []
+        assert result.tests_run == 0
+        assert result.minimal
+
+    def test_single_event_input(self):
+        result = ddmin(["only"], _superset_predicate({"only"}), max_tests=10)
+        assert result.kept == ["only"]
+        assert result.minimal
+
+    def test_budget_exhaustion_returns_failing_subset(self):
+        required = {5, 55}
+        predicate = _superset_predicate(required)
+        result = ddmin(list(range(60)), predicate, max_tests=3)
+        assert result.tests_run <= 3
+        assert not result.minimal
+        # Whatever ddmin returns must still be failing.
+        assert required <= set(result.kept)
+
+    def test_deterministic(self):
+        events = list(range(50))
+        first = ddmin(events, _superset_predicate({2, 30}), max_tests=1024)
+        second = ddmin(events, _superset_predicate({2, 30}), max_tests=1024)
+        assert first.kept == second.kept
+        assert first.tests_run == second.tests_run
+
+    def test_cache_avoids_repeat_evaluations(self):
+        predicate = _superset_predicate({0})
+        result = ddmin(list(range(16)), predicate, max_tests=4096)
+        assert result.kept == [0]
+        # Every evaluated candidate was distinct (the cache absorbed repeats).
+        assert len(predicate.calls) == len(set(predicate.calls))
+
+    @pytest.mark.parametrize("size", [2, 3, 5, 9, 17])
+    def test_various_sizes(self, size):
+        events = [f"e{i}" for i in range(size)]
+        required = {events[0], events[-1]}
+        result = ddmin(events, _superset_predicate(required), max_tests=4096)
+        assert set(result.kept) == required
+        assert result.minimal

@@ -93,3 +93,45 @@ class TestMembershipProperties:
     @settings(max_examples=200)
     def test_virtual_key_is_member_of_group(self, group: KeyGroup):
         assert group.contains_key(group.virtual_key)
+
+
+class TestFirstOverlappingPairEquivalence:
+    """The linear adjacent-pair scan agrees with the quadratic all-pairs check."""
+
+    @staticmethod
+    def _all_pairs_overlap(groups):
+        return any(
+            a.overlaps(b)
+            for i, a in enumerate(groups)
+            for b in groups[i + 1 :]
+        )
+
+    @given(groups=st.lists(key_groups(), max_size=40))
+    @settings(max_examples=300)
+    def test_matches_all_pairs_on_random_collections(self, groups):
+        from repro.keys.keygroup import first_overlapping_pair
+
+        pair = first_overlapping_pair(groups)
+        assert (pair is not None) == self._all_pairs_overlap(groups)
+        if pair is not None:
+            left, right = pair
+            assert left.overlaps(right)
+
+    @given(group=key_groups())
+    @settings(max_examples=100)
+    def test_detects_parent_child_overlap(self, group: KeyGroup):
+        from repro.keys.keygroup import first_overlapping_pair
+
+        if group.depth == group.width:
+            return
+        left, _right = group.split()
+        assert first_overlapping_pair([group, left]) is not None
+
+    def test_prefix_free_partition_is_clean(self):
+        from repro.keys.keygroup import first_overlapping_pair
+
+        root = KeyGroup(prefix=0, depth=0, width=WIDTH)
+        left, right = root.split()
+        leftleft, leftright = left.split()
+        assert first_overlapping_pair([leftleft, leftright, right]) is None
+        assert first_overlapping_pair([]) is None

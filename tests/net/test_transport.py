@@ -335,7 +335,7 @@ class TestBuildTransport:
     def test_registry_is_the_single_source_of_truth(self):
         """Every enumeration derives from net.TRANSPORTS."""
         assert TRANSPORT_KINDS == tuple(TRANSPORTS)
-        assert set(TRANSPORT_KINDS) == {"inline", "event", "batching", "async"}
+        assert set(TRANSPORT_KINDS) == {"inline", "event", "batching", "async", "replay"}
         for kind, spec in TRANSPORTS.items():
             assert spec.kind == kind
             assert transport_spec(kind) is spec
