@@ -80,9 +80,10 @@ profile-paper:
 	PYTHONPATH=src python benchmarks/bench_paper_scale.py --profile
 
 # Adversarial schedule fuzz smoke: a fixed-seed, small-budget sweep of
-# delivery orders and churn timings over the async transport (single ring
-# and 4 shards), with the invariant oracle at every quiescent point.  The
-# run is deterministic; it must find zero violations (exit 1 otherwise).
+# delivery orders and churn timings over the async transport (single ring,
+# 4 static shards and 4 adaptively partitioned shards — 3 cases per seed),
+# with the invariant oracle at every quiescent point.  The run is
+# deterministic; it must find zero violations (exit 1 otherwise).
 # See docs/FUZZING.md.
 fuzz-smoke:
 	PYTHONPATH=src python -m repro fuzz --scale-factor 100 --phase-periods 2 \

@@ -42,10 +42,12 @@ from repro.experiments.runner import ExperimentScale
 from repro.fuzz.oracle import ORACLES
 from repro.experiments.shard_scaling import (
     DEFAULT_CHURN_VARIANTS,
+    DEFAULT_PARTITION_MODES,
     DEFAULT_SHARD_COUNTS,
     render_shard_scaling,
     run_shard_scaling,
 )
+from repro.dht.partition import PARTITION_KINDS
 from repro.net import TRANSPORT_KINDS, TRANSPORTS
 
 __all__ = ["main", "build_parser"]
@@ -138,6 +140,18 @@ def build_parser() -> argparse.ArgumentParser:
         + ")",
     )
     parser.add_argument(
+        "--partition",
+        choices=PARTITION_KINDS,
+        default=None,
+        help="partition map governing the key-space -> shard split "
+        "(default: static, the equal top-bits prefix ranges; 'adaptive' "
+        "rebalances boundaries from observed load and needs --shards > 1; "
+        "for the 'shards' command an explicit value pins the sweep to that "
+        "mode instead of sweeping "
+        + "/".join(DEFAULT_PARTITION_MODES)
+        + ")",
+    )
+    parser.add_argument(
         "--verify-invariants",
         action="store_true",
         help="run the full protocol invariant pass after every membership "
@@ -224,6 +238,7 @@ def _scale_from_args(args: argparse.Namespace) -> ExperimentScale:
         join_rate=args.join_rate if args.join_rate is not None else 0.0,
         fail_rate=args.fail_rate if args.fail_rate is not None else 0.0,
         shards=args.shards if args.shards is not None else 1,
+        partition=args.partition if args.partition is not None else "static",
         verify_invariants=args.verify_invariants,
     )
 
@@ -305,7 +320,17 @@ def _run_shards(args: argparse.Namespace) -> list[pathlib.Path]:
         churn_rates = ((scale.join_rate, scale.fail_rate),)
     else:
         churn_rates = DEFAULT_CHURN_VARIANTS
-    result = run_shard_scaling(scale, shard_counts=counts, churn_rates=churn_rates)
+    # An explicit --partition pins the sweep to that mode; the default
+    # sweeps static and adaptive side by side.
+    partition_modes = (
+        (args.partition,) if args.partition is not None else DEFAULT_PARTITION_MODES
+    )
+    result = run_shard_scaling(
+        scale,
+        shard_counts=counts,
+        churn_rates=churn_rates,
+        partition_modes=partition_modes,
+    )
     return [
         _write(args.output_dir, "shard_scaling.txt", render_shard_scaling(result), args.quiet)
     ]

@@ -44,6 +44,7 @@ from repro.core.policy import MergePolicy, SplitPolicy
 from repro.core.server import ClashServer
 from repro.core.server_table import SELF_PARENT
 from repro.dht.hashspace import HashSpace
+from repro.dht.partition import PartitionMap
 from repro.dht.ring import ChordRing
 from repro.dht.router import RingRouter, build_router
 from repro.keys.identifier import IdentifierKey
@@ -384,6 +385,11 @@ class ClashSystem:
     def shard_count(self) -> int:
         """Number of independent rings the key space is partitioned across."""
         return self._router.shard_count
+
+    @property
+    def partition_version(self) -> int:
+        """Version of the partition map routing currently follows (0 = single ring)."""
+        return self._router.partition_version
 
     def dht_stats(self) -> dict[str, int]:
         """Routing-tier telemetry: lookup-memo and stabilisation counters.
@@ -1073,6 +1079,114 @@ class ClashSystem:
             self._register_group(group, joiner)
             handed_off[group] = former
         return handed_off
+
+    def rebalance_partition(self, new_map: PartitionMap) -> dict[KeyGroup, str]:
+        """Install a new partition map and migrate the key groups it moves.
+
+        The online-rebalance path: every layer routes through the router's
+        partition map, so installing ``new_map`` atomically redefines which
+        shard each key belongs to, and this method then makes ownership catch
+        up by migrating every active key group whose shard changed.  Migration
+        reuses the join-handoff machinery verbatim — the former owner releases
+        the group (``RELEASE_KEYGROUP``), and responsibility plus stored
+        queries transfer with an ``ACCEPT_KEYGROUP`` envelope to the server
+        the group's virtual key hashes to on its *new* shard's ring.  A moved
+        group always restarts as a root entry: consolidation linkage cannot
+        span shards (parents and children must share a ring for the merge
+        protocol), exactly the rule :meth:`handle_server_join` applies to
+        moved left children.  Stale parent entries left behind on the old
+        shard are harmless — their release probe finds the child gone and the
+        merge is simply skipped.
+
+        Mid-flight failures get the join-handoff treatment too: a former
+        owner dying with the release outstanding costs one MERGE message and
+        nothing else (its failure recovery already re-homed the group under
+        the new map); a receiver dying after the release re-homes the group
+        as a root on the ring's current owner via :meth:`_restart_as_root`.
+
+        Args:
+            new_map: The partition to install.  Must match the router's shard
+                count and key width, carry a strictly larger version, and be
+                no finer-grained than ``initial_depth`` so every key group —
+                roots and all their descendants — stays whole on one shard.
+
+        Returns:
+            A mapping from each migrated group to its former owner.
+        """
+        check_type("new_map", new_map, PartitionMap)
+        if self._router.shard_count <= 1:
+            raise ValueError("a single-ring deployment has no partition to rebalance")
+        if new_map.granularity_depth > self._config.initial_depth:
+            raise ValueError(
+                f"partition boundaries at granularity depth "
+                f"{new_map.granularity_depth} are finer than initial_depth="
+                f"{self._config.initial_depth}; root groups must be "
+                "shard-local so splits and merges never cross shards"
+            )
+        current = self._router.partition
+        moving = [
+            (group, owner)
+            for group, owner in sorted(self._group_owner.items())
+            if new_map.shard_of_key(group.virtual_key)
+            != current.shard_of_key(group.virtual_key)
+        ]
+        self._router.set_partition(new_map)
+        # The key → shard → server resolution changed: cached DHT routes are
+        # stale even when no active group happens to move.
+        self._transport.invalidate_routes()
+        migrated: dict[KeyGroup, str] = {}
+        for group, former in moving:
+            new_owner = self._router.owner_of_key(group.virtual_key)
+            try:
+                release = self._transport.request(
+                    Envelope(
+                        source=new_owner,
+                        destination=former,
+                        payload=ReleaseKeyGroup(group=group, child_server=former),
+                        category=MessageCategory.MERGE,
+                    )
+                )
+            except DeliveryFailed:
+                # The former owner failed with the release in flight; its
+                # failure recovery has already re-homed every group it still
+                # held under the freshly installed map.
+                self._messages.add(MessageCategory.MERGE, 1)
+                continue
+            if release.reply is None:
+                # The owner refused the release (the group changed under us
+                # mid-rebalance); leave ownership where it is.
+                continue
+            queries: list = release.reply
+            try:
+                self._transport.request(
+                    Envelope(
+                        source=former,
+                        destination=new_owner,
+                        payload=AcceptKeyGroup(
+                            group=group,
+                            parent_server=None,
+                            migrated_queries=len(queries),
+                        ),
+                        category=MessageCategory.SPLIT,
+                        attachment=queries,
+                    )
+                )
+            except DeliveryFailed:
+                # The receiver failed before the transfer landed.  The
+                # release already happened, so the group and its queries must
+                # be re-homed — as a root on the ring's current owner.
+                self._messages.add(MessageCategory.MERGE, 2)
+                self._messages.add(MessageCategory.SPLIT, 1)  # lost transfer
+                migrated[group] = former
+                self._restart_as_root(group, queries)
+                continue
+            self._messages.add(MessageCategory.MERGE, 2)  # release request + reply
+            self._messages.add(MessageCategory.SPLIT, 2)  # transfer + ack
+            self._messages.add(MessageCategory.STATE_TRANSFER, len(queries))
+            self._unregister_group(group)
+            self._register_group(group, new_owner)
+            migrated[group] = former
+        return migrated
 
     def handle_server_failure(self, failed: str) -> dict[KeyGroup, str]:
         """Recover from the abrupt loss of a server.

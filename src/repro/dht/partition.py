@@ -1,0 +1,386 @@
+"""First-class key-space → shard partition maps for the routing tier.
+
+The sharded federation originally hard-coded its partition: shard ``k`` owned
+every identifier key whose top ``b`` bits equal ``k``.  That inherits the
+workload's skew — the hottest prefix block lands on one shard no matter how
+the servers are spread — so this module makes the key-space → shard mapping a
+first-class, versioned object the router delegates to:
+
+* :class:`PartitionMap` — an ordered list of contiguous key ranges, one per
+  shard, covering the whole ``[0, 2**key_bits)`` space with no gaps or
+  overlaps.  Boundaries are aligned to *prefix blocks* of a fixed
+  ``granularity_depth`` so that every key group at or below that depth lies
+  entirely inside one shard's range.  A monotonically increasing ``version``
+  orders maps over a deployment's lifetime.
+* :class:`StaticPrefixPartition` — equal ranges, bit-identical to the
+  original top-``b``-bits rule (``shard_of_key == key.prefix(b)``); the
+  default, and the configuration every golden suite pins.
+* :class:`LoadProportionalPartition` — boundaries cut at the cumulative-load
+  quantiles of an observed per-prefix load vector (the
+  :meth:`~repro.sim.loadmeasure.LoadMeasure.rate_by_prefix` output), so the
+  expected per-shard load is as even as block granularity allows.  Built
+  from a ``previous`` map it moves each boundary at most ``block_limit``
+  blocks per step — the bounded rebalance the simulator drives at period
+  boundaries.
+
+Shard-locality argument
+-----------------------
+
+CLASH bootstraps its root groups at ``initial_depth`` and consolidation
+never collapses past a root entry, so every active group has depth
+``>= initial_depth``.  A boundary aligned to blocks of ``granularity_depth
+<= initial_depth`` therefore never cuts through an active group's key range:
+whatever the boundaries, every group — and all of its present and future
+descendants — lives on exactly one shard, and splits, merges and parent
+links stay shard-local exactly as under the static prefix rule.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from repro.keys.identifier import IdentifierKey
+from repro.util.validation import check_positive, check_power_of_two, check_type
+
+__all__ = [
+    "DEFAULT_BLOCK_LIMIT",
+    "PARTITION_KINDS",
+    "LoadProportionalPartition",
+    "PartitionMap",
+    "StaticPrefixPartition",
+    "load_proportional_cuts",
+    "step_block_cuts",
+]
+
+PARTITION_KINDS = ("static", "adaptive")
+"""The partition policies a simulation can select: ``static`` (the top-bits
+prefix rule, bit-identical to the pre-partition-map behaviour) or
+``adaptive`` (load-proportional boundaries, rebalanced at period starts)."""
+
+DEFAULT_BLOCK_LIMIT = 8
+"""Blocks any single boundary may move per rebalance step.  Bounds the
+number of prefix blocks — and with them the key groups — migrating between
+shards in one step, while still converging on a new load profile within a
+few load-check periods (64 blocks at ``initial_depth=6``)."""
+
+
+class PartitionMap:
+    """Contiguous key ranges → shard index, versioned and immutable.
+
+    Range ``k`` is ``[boundaries[k], boundaries[k+1])`` and belongs to shard
+    ``k``; ranges are stated in key order, so the map is fully described by
+    its boundary vector.
+
+    Args:
+        boundaries: ``shard_count + 1`` strictly increasing integers from
+            ``0`` to ``2**key_bits``, each aligned to the block size
+            ``2**(key_bits - granularity_depth)``.
+        key_bits: Identifier key width the map partitions.
+        granularity_depth: Prefix depth the boundaries are aligned to.  Must
+            not exceed the deployment's ``initial_depth`` (enforced by
+            :class:`~repro.core.protocol.ClashSystem`) so active groups stay
+            shard-local.
+        version: Monotonically increasing map version; a router only ever
+            replaces its map with a strictly newer one.
+    """
+
+    def __init__(
+        self,
+        boundaries,
+        key_bits: int,
+        granularity_depth: int,
+        version: int = 0,
+    ) -> None:
+        check_type("key_bits", key_bits, int)
+        check_positive("key_bits", key_bits)
+        check_type("granularity_depth", granularity_depth, int)
+        check_type("version", version, int)
+        if not 0 <= granularity_depth <= key_bits:
+            raise ValueError(
+                f"granularity_depth must be in [0, {key_bits}], got {granularity_depth}"
+            )
+        if version < 0:
+            raise ValueError(f"version must be non-negative, got {version}")
+        bounds = tuple(int(value) for value in boundaries)
+        if len(bounds) < 2:
+            raise ValueError("a partition map needs at least one range")
+        space = 1 << key_bits
+        if bounds[0] != 0 or bounds[-1] != space:
+            raise ValueError(
+                f"boundaries must run from 0 to {space}, got {bounds[0]}..{bounds[-1]}"
+            )
+        block = 1 << (key_bits - granularity_depth)
+        for left, right in zip(bounds, bounds[1:]):
+            if right <= left:
+                raise ValueError(
+                    f"boundaries must be strictly increasing, got {left} before {right}"
+                )
+        for value in bounds:
+            if value % block:
+                raise ValueError(
+                    f"boundary {value} is not aligned to the "
+                    f"depth-{granularity_depth} block size {block}"
+                )
+        self._boundaries = bounds
+        self._key_bits = key_bits
+        self._granularity_depth = granularity_depth
+        self._version = version
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shard_count(self) -> int:
+        """Number of contiguous ranges (= shards) the map defines."""
+        return len(self._boundaries) - 1
+
+    @property
+    def key_bits(self) -> int:
+        """Identifier key width the map partitions."""
+        return self._key_bits
+
+    @property
+    def granularity_depth(self) -> int:
+        """Prefix depth every boundary is aligned to."""
+        return self._granularity_depth
+
+    @property
+    def version(self) -> int:
+        """The map's position in the deployment's rebalance history."""
+        return self._version
+
+    @property
+    def boundaries(self) -> tuple[int, ...]:
+        """The ``shard_count + 1`` range boundaries, in key order."""
+        return self._boundaries
+
+    def ranges(self) -> tuple[tuple[int, int], ...]:
+        """``(start, end)`` of every shard's key range, in shard order."""
+        return tuple(zip(self._boundaries, self._boundaries[1:]))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PartitionMap):
+            return NotImplemented
+        return (
+            self._boundaries == other._boundaries
+            and self._key_bits == other._key_bits
+            and self._granularity_depth == other._granularity_depth
+            and self._version == other._version
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._boundaries, self._key_bits, self._granularity_depth, self._version))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(shards={self.shard_count}, "
+            f"version={self._version}, boundaries={self._boundaries})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Resolution
+    # ------------------------------------------------------------------ #
+
+    def shard_of_value(self, value: int) -> int:
+        """The shard owning a raw key value in ``[0, 2**key_bits)``."""
+        if not 0 <= value < self._boundaries[-1]:
+            raise ValueError(
+                f"key value {value} outside the {self._key_bits}-bit key space"
+            )
+        return bisect_right(self._boundaries, value) - 1
+
+    def shard_of_key(self, key: IdentifierKey) -> int:
+        """The shard owning an identifier (virtual) key."""
+        if key.width != self._key_bits:
+            raise ValueError(
+                f"key width {key.width} does not match partition key_bits {self._key_bits}"
+            )
+        return self.shard_of_value(key.value)
+
+
+class StaticPrefixPartition(PartitionMap):
+    """Equal prefix ranges: the original top-``b``-bits rule, as a map.
+
+    With ``2**b`` shards, shard ``k`` owns exactly the keys whose top ``b``
+    bits equal ``k`` — :meth:`shard_of_key` is bit-identical to
+    ``key.prefix(b)``, which the golden suites rely on.
+    """
+
+    def __init__(self, key_bits: int, shard_count: int, version: int = 0) -> None:
+        check_power_of_two("shard_count", shard_count)
+        shard_bits = shard_count.bit_length() - 1
+        if shard_bits > key_bits:
+            raise ValueError(
+                f"{shard_count} shards need {shard_bits} key bits, "
+                f"but keys are only {key_bits} bits wide"
+            )
+        size = 1 << (key_bits - shard_bits)
+        super().__init__(
+            boundaries=tuple(index * size for index in range(shard_count + 1)),
+            key_bits=key_bits,
+            granularity_depth=shard_bits,
+            version=version,
+        )
+        self._shard_bits = shard_bits
+
+    @property
+    def shard_bits(self) -> int:
+        """Number of leading key bits that select the shard."""
+        return self._shard_bits
+
+    def shard_of_key(self, key: IdentifierKey) -> int:
+        if key.width != self.key_bits:
+            raise ValueError(
+                f"key width {key.width} does not match partition key_bits {self.key_bits}"
+            )
+        # Equal ranges of size 2**(key_bits - b): the bisect over the
+        # boundary vector and the top-bits read agree everywhere; the prefix
+        # read keeps the pre-partition-map hot path (and its exact
+        # semantics) on static deployments.
+        return key.prefix(self._shard_bits)
+
+
+def load_proportional_cuts(loads, shard_count: int) -> list[int]:
+    """Block-index cuts putting ~equal load in each of ``shard_count`` runs.
+
+    Given per-block loads (one entry per prefix block, in key order), returns
+    ``shard_count + 1`` strictly increasing cut positions from ``0`` to
+    ``len(loads)``.  Cut ``k`` lands where the cumulative load crosses
+    ``k/shard_count`` of the total, stepped back one block when that is
+    strictly closer to the quantile; every shard keeps at least one block.
+    A zero (or empty-signal) load vector degrades to equal-width cuts.
+    """
+    check_type("shard_count", shard_count, int)
+    check_positive("shard_count", shard_count)
+    blocks = len(loads)
+    if blocks < shard_count:
+        raise ValueError(
+            f"cannot cut {blocks} blocks into {shard_count} shards; "
+            "every shard needs at least one block"
+        )
+    for value in loads:
+        if value < 0:
+            raise ValueError(f"block loads must be non-negative, got {value}")
+    total = float(sum(loads))
+    if total <= 0.0:
+        return [shard * blocks // shard_count for shard in range(shard_count)] + [blocks]
+    prefix = [0.0]
+    for value in loads:
+        prefix.append(prefix[-1] + float(value))
+    cuts = [0]
+    for shard in range(1, shard_count):
+        target = total * shard / shard_count
+        low = cuts[-1] + 1
+        high = blocks - (shard_count - shard)
+        cut = bisect_left(prefix, target, low, high + 1)
+        cut = min(max(cut, low), high)
+        if cut > low and abs(target - prefix[cut - 1]) < abs(prefix[cut] - target):
+            cut -= 1
+        cuts.append(cut)
+    cuts.append(blocks)
+    return cuts
+
+
+def step_block_cuts(current, target, limit: int) -> list[int]:
+    """Move each interior cut at most ``limit`` blocks toward its target.
+
+    Both inputs must be strictly increasing cut vectors over the same block
+    count; the endpoints are fixed and the result is strictly increasing
+    again (clamping three strictly increasing integer sequences preserves
+    strict monotonicity), so the stepped vector is always a valid partition.
+    """
+    check_type("limit", limit, int)
+    check_positive("limit", limit)
+    if len(current) != len(target):
+        raise ValueError(
+            f"cut vectors differ in length: {len(current)} vs {len(target)}"
+        )
+    if current[0] != target[0] or current[-1] != target[-1]:
+        raise ValueError("cut vectors must share their endpoints")
+    stepped = [current[0]]
+    for cut, goal in zip(current[1:-1], target[1:-1]):
+        stepped.append(min(max(goal, cut - limit), cut + limit))
+    stepped.append(current[-1])
+    return stepped
+
+
+class LoadProportionalPartition(PartitionMap):
+    """Boundaries at the cumulative-load quantiles of an observed profile.
+
+    Construct through :meth:`from_loads`; the instance itself is a plain
+    (immutable) :class:`PartitionMap` whose boundaries happen to equalise
+    the given per-block load vector.
+    """
+
+    @classmethod
+    def from_loads(
+        cls,
+        loads,
+        key_bits: int,
+        shard_count: int,
+        *,
+        previous: PartitionMap | None = None,
+        block_limit: int | None = None,
+        version: int | None = None,
+    ) -> "LoadProportionalPartition":
+        """A map equalising ``loads``, optionally stepped from ``previous``.
+
+        Args:
+            loads: Observed load per prefix block, one entry per prefix at
+                the granularity depth (``len(loads)`` must be a power of
+                two, e.g. ``LoadMeasure.rate_by_prefix(initial_depth)``).
+            key_bits: Identifier key width.
+            shard_count: Number of shards to cut the space into.
+            previous: The currently installed map; when given, each boundary
+                moves at most ``block_limit`` blocks from its current
+                position toward the load-proportional target — the bounded
+                rebalance step.
+            block_limit: Per-step boundary movement bound in blocks
+                (default :data:`DEFAULT_BLOCK_LIMIT`).
+            version: Explicit version; defaults to ``previous.version + 1``
+                (or ``1`` for a from-scratch map).
+        """
+        blocks = len(loads)
+        check_power_of_two("len(loads)", blocks)
+        depth = blocks.bit_length() - 1
+        check_type("key_bits", key_bits, int)
+        if depth > key_bits:
+            raise ValueError(
+                f"{blocks} blocks imply granularity depth {depth}, "
+                f"but keys are only {key_bits} bits wide"
+            )
+        target = load_proportional_cuts([float(value) for value in loads], shard_count)
+        block = 1 << (key_bits - depth)
+        if previous is not None:
+            check_type("previous", previous, PartitionMap)
+            if previous.key_bits != key_bits:
+                raise ValueError(
+                    f"previous map partitions {previous.key_bits}-bit keys, "
+                    f"not {key_bits}-bit"
+                )
+            if previous.shard_count != shard_count:
+                raise ValueError(
+                    f"previous map has {previous.shard_count} shards, "
+                    f"not {shard_count}"
+                )
+            if any(value % block for value in previous.boundaries):
+                raise ValueError(
+                    f"previous boundaries are not aligned to the "
+                    f"depth-{depth} block size {block}"
+                )
+            current = [value // block for value in previous.boundaries]
+            limit = DEFAULT_BLOCK_LIMIT if block_limit is None else block_limit
+            cuts = step_block_cuts(current, target, limit)
+            if version is None:
+                version = previous.version + 1
+        else:
+            cuts = target
+            if version is None:
+                version = 1
+        return cls(
+            boundaries=tuple(cut * block for cut in cuts),
+            key_bits=key_bits,
+            granularity_depth=depth,
+            version=version,
+        )

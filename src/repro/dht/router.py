@@ -12,19 +12,26 @@ space across several independent Chord rings
 Sharding model
 --------------
 
-With ``2**b`` shards, shard ``k`` owns every identifier key whose top ``b``
-bits equal ``k`` — a *prefix partition* of the key space.  Each shard runs
-its own full Chord ring over a disjoint subset of the servers, so a shard is
-exactly the unit a future multi-process worker can own: its servers, its
-overlay and its slice of the key space move together.
+Which shard owns a key is decided by a first-class
+:class:`~repro.dht.partition.PartitionMap`: an ordered list of contiguous
+key ranges, one per shard, with a monotonically increasing version.  The
+default :class:`~repro.dht.partition.StaticPrefixPartition` reproduces the
+original rule bit for bit — with ``2**b`` shards, shard ``k`` owns every
+identifier key whose top ``b`` bits equal ``k`` — while a rebalance may
+install a newer map with load-proportional boundaries
+(:meth:`ShardedRingRouter.set_partition`).  Each shard runs its own full
+Chord ring over a disjoint subset of the servers, so a shard is exactly the
+unit a future multi-process worker can own: its servers, its overlay and
+its slice of the key space move together.
 
-Because a key group's children share its prefix, a group of depth ``d >= b``
-and all of its descendants live on one shard.  CLASH bootstraps its root
-groups at ``initial_depth`` and consolidation never collapses past a root
-entry, so requiring ``b <= initial_depth`` (enforced by
-:class:`~repro.core.protocol.ClashSystem`) makes every split, merge, load
-report and parent link *shard-local* by construction; only the stateless
-routing decision — which shard owns a virtual key — is global.
+Because a key group's children share its prefix, a group of depth ``d``
+lies entirely inside one aligned prefix block of any depth ``<= d``.  CLASH
+bootstraps its root groups at ``initial_depth`` and consolidation never
+collapses past a root entry, so requiring every map's boundary granularity
+to stay at or above block size ``2**(key_bits - initial_depth)`` (enforced
+by :class:`~repro.core.protocol.ClashSystem`) makes every split, merge,
+load report and parent link *shard-local* by construction; only the
+stateless routing decision — which shard owns a virtual key — is global.
 
 Server placement balances shard populations: a joining server lands on the
 least-populated shard (ties broken by shard index), which is deterministic
@@ -38,6 +45,7 @@ from __future__ import annotations
 import abc
 
 from repro.dht.hashspace import HashSpace
+from repro.dht.partition import PartitionMap, StaticPrefixPartition
 from repro.dht.ring import ChordRing, LookupResult
 from repro.keys.identifier import IdentifierKey
 from repro.util.validation import check_positive, check_power_of_two, check_type
@@ -131,6 +139,16 @@ class RingRouter(abc.ABC):
     # ------------------------------------------------------------------ #
     # Telemetry and tuning
     # ------------------------------------------------------------------ #
+
+    @property
+    def partition_version(self) -> int:
+        """Version of the installed partition map (0 when there is none).
+
+        Single-ring deployments have no partition to speak of; sharded
+        routers report the version of their current
+        :class:`~repro.dht.partition.PartitionMap`.
+        """
+        return 0
 
     def memo_stats(self) -> dict[str, int]:
         """Lookup-memo telemetry summed across every shard ring."""
@@ -241,18 +259,30 @@ class SingleRingRouter(RingRouter):
 
 
 class ShardedRingRouter(RingRouter):
-    """Prefix-partitions the key space across ``shard_count`` Chord rings.
+    """Partitions the key space across ``shard_count`` Chord rings.
+
+    Every shard-of-key decision — routing, placement, invariant checks —
+    delegates to the installed :class:`~repro.dht.partition.PartitionMap`;
+    the router itself only owns the rings and the server → shard registry.
 
     Args:
         space: The hash space every shard ring is built over (shards share
             the hash-space geometry; their memberships are disjoint).
-        shard_count: Number of shards; must be a power of two so the top
-            ``log2(shard_count)`` key bits partition the space cleanly.
-        key_bits: Identifier key width N; shard selection reads the top
-            ``log2(shard_count)`` of these bits.
+        shard_count: Number of shards; must be a power of two so the
+            default prefix partition cuts the space cleanly.
+        key_bits: Identifier key width N.
+        partition: The initial key-space partition; defaults to the
+            :class:`~repro.dht.partition.StaticPrefixPartition` reproducing
+            the top-``log2(shard_count)``-bits rule bit-identically.
     """
 
-    def __init__(self, space: HashSpace, shard_count: int, key_bits: int) -> None:
+    def __init__(
+        self,
+        space: HashSpace,
+        shard_count: int,
+        key_bits: int,
+        partition: PartitionMap | None = None,
+    ) -> None:
         check_type("space", space, HashSpace)
         check_power_of_two("shard_count", shard_count)
         check_type("key_bits", key_bits, int)
@@ -267,6 +297,23 @@ class ShardedRingRouter(RingRouter):
         self._rings = tuple(ChordRing(space=space) for _ in range(shard_count))
         self._server_shards: dict[str, int] = {}
         self._stale_shards: set[int] = set()
+        if partition is None:
+            partition = StaticPrefixPartition(key_bits=key_bits, shard_count=shard_count)
+        self._check_partition(partition)
+        self._partition = partition
+
+    def _check_partition(self, partition: PartitionMap) -> None:
+        check_type("partition", partition, PartitionMap)
+        if partition.key_bits != self._key_bits:
+            raise ValueError(
+                f"partition map covers {partition.key_bits}-bit keys, "
+                f"but the router routes {self._key_bits}-bit keys"
+            )
+        if partition.shard_count != len(self._rings):
+            raise ValueError(
+                f"partition map defines {partition.shard_count} ranges, "
+                f"but the router federates {len(self._rings)} shards"
+            )
 
     @property
     def shard_count(self) -> int:
@@ -276,6 +323,31 @@ class ShardedRingRouter(RingRouter):
     def shard_bits(self) -> int:
         """Number of leading key bits that select the shard."""
         return self._shard_bits
+
+    @property
+    def partition(self) -> PartitionMap:
+        """The installed key-space → shard partition map."""
+        return self._partition
+
+    @property
+    def partition_version(self) -> int:
+        return self._partition.version
+
+    def set_partition(self, partition: PartitionMap) -> None:
+        """Install a strictly newer partition map.
+
+        The router swaps the mapping only; migrating the key groups whose
+        shard changed — and invalidating cached transport routes — is
+        :meth:`~repro.core.protocol.ClashSystem.rebalance_partition`'s job,
+        which calls this as its first step.
+        """
+        self._check_partition(partition)
+        if partition.version <= self._partition.version:
+            raise ValueError(
+                f"partition versions must increase: installed "
+                f"{self._partition.version}, offered {partition.version}"
+            )
+        self._partition = partition
 
     def rings(self) -> tuple[ChordRing, ...]:
         return self._rings
@@ -298,7 +370,7 @@ class ShardedRingRouter(RingRouter):
             raise ValueError(
                 f"key width {key.width} does not match router key_bits {self._key_bits}"
             )
-        return key.prefix(self._shard_bits)
+        return self._partition.shard_of_key(key)
 
     def servers_in_shard(self, shard: int) -> list[str]:
         return self._rings[shard].node_names()
@@ -355,10 +427,24 @@ class ShardedRingRouter(RingRouter):
         return ring.owner_of(ring.hash_function.hash_key(key))
 
 
-def build_router(shards: int, space: HashSpace, key_bits: int) -> RingRouter:
-    """The router for a deployment: single-ring for 1 shard, sharded above."""
+def build_router(
+    shards: int,
+    space: HashSpace,
+    key_bits: int,
+    partition: PartitionMap | None = None,
+) -> RingRouter:
+    """The router for a deployment: single-ring for 1 shard, sharded above.
+
+    ``partition`` overrides the sharded router's initial key-space map
+    (default: the static prefix partition); it is rejected for single-ring
+    deployments, which have nothing to partition.
+    """
     check_type("shards", shards, int)
     check_positive("shards", shards)
     if shards == 1:
+        if partition is not None:
+            raise ValueError("a single-ring deployment takes no partition map")
         return SingleRingRouter(space=space)
-    return ShardedRingRouter(space=space, shard_count=shards, key_bits=key_bits)
+    return ShardedRingRouter(
+        space=space, shard_count=shards, key_bits=key_bits, partition=partition
+    )

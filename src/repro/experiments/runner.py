@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.config import ClashConfig
+from repro.dht.partition import PARTITION_KINDS
 from repro.net import TRANSPORT_KINDS
 from repro.sim.simulator import SimulationParams
 from repro.util.validation import check_positive, check_power_of_two, check_type
@@ -56,6 +57,10 @@ class ExperimentScale:
             scenario phase (0 = no churn, the default).
         shards: Number of independent Chord rings the key space is
             partitioned across (power of two; 1 = the paper's single ring).
+        partition: Partition map governing the key-space → shard split (one
+            of :data:`repro.dht.partition.PARTITION_KINDS`; ``"static"`` is
+            the pre-refactor equal-prefix-range behaviour, ``"adaptive"``
+            rebalances boundaries from observed load — sharded runs only).
         verify_invariants: Run the full protocol invariant pass after every
             membership event and at every period boundary (the CLI's
             ``--verify-invariants``; off by default — pure overhead on a
@@ -75,6 +80,7 @@ class ExperimentScale:
     join_rate: float = 0.0
     fail_rate: float = 0.0
     shards: int = 1
+    partition: str = "static"
     verify_invariants: bool = False
 
     def __post_init__(self) -> None:
@@ -105,6 +111,11 @@ class ExperimentScale:
                     f"{name} must be non-negative, got {getattr(self, name)}"
                 )
         check_power_of_two("shards", self.shards)
+        if self.partition not in PARTITION_KINDS:
+            raise ValueError(
+                f"partition must be one of {', '.join(PARTITION_KINDS)}, "
+                f"got {self.partition!r}"
+            )
 
     @classmethod
     def paper(cls, query_clients: bool = False) -> "ExperimentScale":
@@ -182,6 +193,7 @@ class ExperimentScale:
             "transport": self.transport,
             "link_latency": self.link_latency,
             "shards": self.shards,
+            "partition": self.partition,
             "verify_invariants": self.verify_invariants,
         }
         values.update(overrides)

@@ -10,7 +10,12 @@ membership churn, and reports for each point
   is how much balance headroom the partition costs;
 * **cross-shard imbalance** — peak-to-mean ratio of the per-shard aggregate
   loads (1.0 = perfectly even federation), the new metric sharded runs add
-  to :class:`~repro.sim.metrics.PeriodSample`;
+  to :class:`~repro.sim.metrics.PeriodSample`; sharded points run under both
+  the static equal-prefix partition and the adaptive load-proportional one
+  (:mod:`repro.dht.partition`), so the table shows what skew-aware
+  boundaries buy — both the mean over the run and the converged
+  (phase-final) figure, since the bounded rebalance takes a few periods to
+  track a workload switch;
 * **lookup depth** — churn and sharding reassign groups without changing the
   splitting tree, so depth drift here would indicate the protocol is
   splitting to compensate for the partition;
@@ -37,6 +42,7 @@ from repro.util.validation import check_type
 __all__ = [
     "DEFAULT_SHARD_COUNTS",
     "DEFAULT_CHURN_VARIANTS",
+    "DEFAULT_PARTITION_MODES",
     "ShardPoint",
     "ShardScalingResult",
     "run_shard_scaling",
@@ -50,6 +56,10 @@ DEFAULT_CHURN_VARIANTS = ((0.0, 0.0), (0.005, 0.005))
 """The (join_rate, fail_rate) pairs (events/sec) each shard count runs at:
 a stable population and a symmetrically churning one."""
 
+DEFAULT_PARTITION_MODES = ("static", "adaptive")
+"""The partition maps each sharded point runs under (``shards=1`` points
+always run static — a single ring has no boundaries to move)."""
+
 
 @dataclass
 class ShardPoint:
@@ -60,12 +70,15 @@ class ShardPoint:
         join_rate: Poisson server-join rate (events/sec) for every phase.
         fail_rate: Poisson server-failure rate (events/sec) for every phase.
         result: The full simulation result at this point.
+        partition: The partition map the point ran under (``"static"`` or
+            ``"adaptive"``; see :data:`repro.dht.partition.PARTITION_KINDS`).
     """
 
     shards: int
     join_rate: float
     fail_rate: float
     result: SimulationResult
+    partition: str = "static"
 
     @property
     def peak_load_percent(self) -> float:
@@ -97,6 +110,21 @@ class ShardPoint:
         return mean(values) if values else 1.0
 
     @property
+    def converged_imbalance(self) -> float:
+        """Worst phase-final cross-shard imbalance (the steady-state figure).
+
+        The bounded rebalance moves boundaries at most a few key-space
+        blocks per period, so the periods right after a workload switch are
+        transitional; the last period of each phase shows what the partition
+        converges to under that workload.
+        """
+        finals: dict[str, float] = {}
+        for sample in self.result.metrics.samples:
+            finals[sample.workload] = sample.cross_shard_imbalance
+        values = [value for value in finals.values() if value > 0.0]
+        return max(values) if values else 1.0
+
+    @property
     def mean_depth(self) -> float:
         """Mean (over periods) of the per-period average lookup depth."""
         return mean([s.avg_depth for s in self.result.metrics.samples])
@@ -118,6 +146,11 @@ class ShardPoint:
         """Key groups handed to a new owner by membership events."""
         return sum(s.groups_reassigned for s in self.result.metrics.samples)
 
+    @property
+    def groups_migrated(self) -> int:
+        """Key groups moved between shards by partition rebalances."""
+        return sum(s.groups_migrated for s in self.result.metrics.samples)
+
 
 @dataclass
 class ShardScalingResult:
@@ -136,7 +169,12 @@ class ShardScalingResult:
     def baseline(self) -> ShardPoint:
         """The unsharded churn-free control (raises if the sweep skipped it)."""
         for point in self.points:
-            if point.shards == 1 and point.join_rate == 0.0 and point.fail_rate == 0.0:
+            if (
+                point.shards == 1
+                and point.join_rate == 0.0
+                and point.fail_rate == 0.0
+                and point.partition == "static"
+            ):
                 return point
         raise KeyError("the sweep did not include the shards=1, churn-free point")
 
@@ -145,46 +183,58 @@ def run_shard_scaling(
     scale: ExperimentScale | None = None,
     shard_counts: tuple[int, ...] = DEFAULT_SHARD_COUNTS,
     churn_rates: tuple[tuple[float, float], ...] = DEFAULT_CHURN_VARIANTS,
+    partition_modes: tuple[str, ...] = DEFAULT_PARTITION_MODES,
 ) -> ShardScalingResult:
     """Run the shard-scaling sweep at the given scale.
 
     Args:
         scale: Experiment scale (defaults to ``ExperimentScale.scaled(10)``).
-            Its ``transport`` selects how messages move; its own ``shards``
-            and churn rates are ignored in favour of the sweep's.
+            Its ``transport`` selects how messages move; its own ``shards``,
+            churn rates and partition are ignored in favour of the sweep's.
         shard_counts: The shard counts to evaluate.
         churn_rates: The (join_rate, fail_rate) pairs each shard count runs
             at.
+        partition_modes: The partition maps each sharded point runs under
+            (``shards=1`` points always run the static map).
     """
     if scale is None:
         scale = ExperimentScale.scaled(10)
     check_type("scale", scale, ExperimentScale)
     sweep = ShardScalingResult(scale_name=scale.name, transport=scale.transport)
     for shards in shard_counts:
-        for join_rate, fail_rate in churn_rates:
-            point_scale = dataclasses.replace(
-                scale, shards=shards, join_rate=join_rate, fail_rate=fail_rate
-            )
-            simulator = FlowSimulator(
-                config=point_scale.config(),
-                params=point_scale.params(),
-                scenario=point_scale.scenario(),
-            )
-            try:
-                result = simulator.run()
-                # Every point must end in a consistent state; for sharded
-                # points this includes the shard-locality invariants.
-                simulator.system.verify_invariants()
-            finally:
-                simulator.transport.close()
-            sweep.points.append(
-                ShardPoint(
+        for partition in partition_modes:
+            if partition != "static" and shards <= 1:
+                # A single ring has no shard boundaries to move.
+                continue
+            for join_rate, fail_rate in churn_rates:
+                point_scale = dataclasses.replace(
+                    scale,
                     shards=shards,
+                    partition=partition,
                     join_rate=join_rate,
                     fail_rate=fail_rate,
-                    result=result,
                 )
-            )
+                simulator = FlowSimulator(
+                    config=point_scale.config(),
+                    params=point_scale.params(),
+                    scenario=point_scale.scenario(),
+                )
+                try:
+                    result = simulator.run()
+                    # Every point must end in a consistent state; for sharded
+                    # points this includes the shard-locality invariants.
+                    simulator.system.verify_invariants()
+                finally:
+                    simulator.transport.close()
+                sweep.points.append(
+                    ShardPoint(
+                        shards=shards,
+                        join_rate=join_rate,
+                        fail_rate=fail_rate,
+                        result=result,
+                        partition=partition,
+                    )
+                )
     return sweep
 
 
@@ -199,15 +249,18 @@ def render_shard_scaling(result: ShardScalingResult) -> str:
         "shards",
         "join/sec",
         "fail/sec",
+        "partition",
         "peak load %",
         "shard peak %",
         "imbalance",
+        "imb (end)",
         "mean depth",
         "max depth",
         "msg/srv/s",
         "splits",
         "merges",
         "moved",
+        "migrated",
     ]
     rows = []
     for point in result.points:
@@ -216,15 +269,18 @@ def render_shard_scaling(result: ShardScalingResult) -> str:
                 point.shards,
                 f"{point.join_rate:g}",
                 f"{point.fail_rate:g}",
+                point.partition,
                 point.peak_load_percent,
                 point.mean_shard_peak_percent,
                 point.mean_imbalance,
+                point.converged_imbalance,
                 point.mean_depth,
                 point.max_depth,
                 point.messages_per_server_per_second,
                 point.result.total_splits,
                 point.result.total_merges,
                 point.groups_reassigned,
+                point.groups_migrated,
             ]
         )
     lines.append(format_table(headers, rows))

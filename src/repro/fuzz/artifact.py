@@ -22,12 +22,15 @@ from typing import Mapping
 
 from repro.fuzz.harness import CaseOutcome, FuzzCase, run_case
 from repro.fuzz.oracle import build_oracle
-from repro.net.replay import ChurnEvent, ReplaySchedule
+from repro.net.replay import ChurnEvent, RebalanceEvent, ReplaySchedule
 
 __all__ = ["ARTIFACT_FORMAT", "ReproArtifact", "replay_artifact"]
 
-ARTIFACT_FORMAT = 1
-"""Schema version stamped into every artifact."""
+ARTIFACT_FORMAT = 2
+"""Schema version stamped into every artifact.
+
+Format history: 1 — ties + churn; 2 — adds the pinned partition-rebalance
+schedule (and the case's ``partition`` axis)."""
 
 
 @dataclass
@@ -44,6 +47,9 @@ class ReproArtifact:
             (indices absent from the map replay as FIFO 0.0).
         churn: The minimised churn schedule (``None`` when the recorded run
             captured no churn dimension).
+        rebalances: The pinned partition-rebalance schedule, verbatim from
+            the recorded run — never shrunk (``None`` when the run was not
+            recorded with rebalance capture).
         original_events: Schedule size before shrinking.
         minimal_events: Schedule size after shrinking.
         shrink_tests: Replays the shrinker spent.
@@ -59,6 +65,7 @@ class ReproArtifact:
     failure_message: str = ""
     ties: dict[int, float] = field(default_factory=dict)
     churn: tuple[ChurnEvent, ...] | None = None
+    rebalances: tuple[RebalanceEvent, ...] | None = None
     original_events: int = 0
     minimal_events: int = 0
     shrink_tests: int = 0
@@ -67,7 +74,9 @@ class ReproArtifact:
 
     def schedule(self) -> ReplaySchedule:
         """The replay schedule this artifact pins."""
-        return ReplaySchedule(ties=dict(self.ties), churn=self.churn)
+        return ReplaySchedule(
+            ties=dict(self.ties), churn=self.churn, rebalances=self.rebalances
+        )
 
     # ------------------------------------------------------------------ #
     # JSON round trip
@@ -89,6 +98,11 @@ class ReproArtifact:
                 if self.churn is None
                 else [event.to_json() for event in self.churn]
             ),
+            "rebalances": (
+                None
+                if self.rebalances is None
+                else [event.to_json() for event in self.rebalances]
+            ),
             "original_events": self.original_events,
             "minimal_events": self.minimal_events,
             "shrink_tests": self.shrink_tests,
@@ -107,6 +121,7 @@ class ReproArtifact:
                 f"(this build reads format {ARTIFACT_FORMAT})"
             )
         churn = payload.get("churn")
+        rebalances = payload.get("rebalances")
         return cls(
             case=FuzzCase.from_dict(payload["case"]),
             oracle=payload["oracle"],
@@ -121,6 +136,11 @@ class ReproArtifact:
                 None
                 if churn is None
                 else tuple(ChurnEvent.from_json(row) for row in churn)
+            ),
+            rebalances=(
+                None
+                if rebalances is None
+                else tuple(RebalanceEvent.from_json(row) for row in rebalances)
             ),
             original_events=int(payload.get("original_events", 0)),
             minimal_events=int(payload.get("minimal_events", 0)),

@@ -15,6 +15,10 @@ Shrinking treats the recorded schedule as one combined event list:
 * a *churn event* keeps one recorded membership event — removing it drops
   the join/failure from the forced schedule entirely.
 
+Recorded partition rebalances are *pinned*, not shrinkable: every candidate
+schedule carries them verbatim, so a shrunk repro always replays the exact
+partition history the failure occurred under.
+
 The reproduction predicate replays the candidate schedule and demands the
 *same oracle check* fail (check names are stable; detail text may differ).
 """
@@ -29,7 +33,7 @@ from repro.fuzz.artifact import ReproArtifact
 from repro.fuzz.harness import CaseOutcome, FuzzCase, run_case
 from repro.fuzz.oracle import build_oracle
 from repro.fuzz.shrink import ShrinkResult, ddmin
-from repro.net.replay import ChurnEvent, ReplaySchedule
+from repro.net.replay import ChurnEvent, RebalanceEvent, ReplaySchedule
 
 __all__ = ["FuzzFinding", "FuzzPlan", "FuzzReport", "enumerate_cases", "render_report", "run_fuzz"]
 
@@ -44,6 +48,8 @@ class FuzzPlan:
     Attributes:
         transports: Transport kinds to sweep.
         shards: Shard counts to sweep (powers of two).
+        partitions: Partition maps to sweep for sharded cases (``shards=1``
+            cases always run static).
         seeds: Base seeds; each also derives the case's delivery/churn seeds
             so every axis varies per seed.
         churn_rates: (join_rate, fail_rate) variants to sweep.
@@ -58,6 +64,7 @@ class FuzzPlan:
 
     transports: tuple[str, ...] = ("async", "event")
     shards: tuple[int, ...] = (1, 2)
+    partitions: tuple[str, ...] = ("static", "adaptive")
     seeds: tuple[int, ...] = tuple(range(8))
     churn_rates: tuple[tuple[float, float], ...] = DEFAULT_CHURN_RATES
     budget: int = 16
@@ -80,31 +87,38 @@ def enumerate_cases(plan: FuzzPlan) -> list[FuzzCase]:
     for seed_index, seed in enumerate(plan.seeds):
         for transport in plan.transports:
             for shards in plan.shards:
-                for join_rate, fail_rate in plan.churn_rates:
-                    if len(cases) >= plan.budget:
-                        return cases
-                    cases.append(
-                        FuzzCase(
-                            transport=transport,
-                            seed=20040324 + seed,
-                            # Independent per-seed axes: the delivery order
-                            # and churn timing sweeps never perturb the
-                            # workload streams.
-                            delivery_seed=(
-                                710_000 + seed_index if transport == "async" else None
-                            ),
-                            churn_seed=(
-                                830_000 + seed_index
-                                if (join_rate or fail_rate)
-                                else None
-                            ),
-                            join_rate=join_rate,
-                            fail_rate=fail_rate,
-                            shards=shards,
-                            scale_factor=plan.scale_factor,
-                            phase_periods=plan.phase_periods,
+                for partition in plan.partitions:
+                    if partition != "static" and shards <= 1:
+                        # A single ring has no shard boundaries to move.
+                        continue
+                    for join_rate, fail_rate in plan.churn_rates:
+                        if len(cases) >= plan.budget:
+                            return cases
+                        cases.append(
+                            FuzzCase(
+                                transport=transport,
+                                seed=20040324 + seed,
+                                # Independent per-seed axes: the delivery
+                                # order and churn timing sweeps never
+                                # perturb the workload streams.
+                                delivery_seed=(
+                                    710_000 + seed_index
+                                    if transport == "async"
+                                    else None
+                                ),
+                                churn_seed=(
+                                    830_000 + seed_index
+                                    if (join_rate or fail_rate)
+                                    else None
+                                ),
+                                join_rate=join_rate,
+                                fail_rate=fail_rate,
+                                shards=shards,
+                                partition=partition,
+                                scale_factor=plan.scale_factor,
+                                phase_periods=plan.phase_periods,
+                            )
                         )
-                    )
     return cases
 
 
@@ -143,9 +157,16 @@ class FuzzReport:
 
 
 def _schedule_from_events(
-    events: Sequence[tuple], churn_recorded: bool
+    events: Sequence[tuple],
+    churn_recorded: bool,
+    rebalances: tuple[RebalanceEvent, ...] | None,
 ) -> ReplaySchedule:
-    """Build the replay schedule a kept-event subset denotes."""
+    """Build the replay schedule a kept-event subset denotes.
+
+    Recorded rebalances ride along verbatim on every candidate — they are
+    pinned, never part of the shrinkable event list, so each replay installs
+    the exact partition history the original failure ran under.
+    """
     ties: dict[int, float] = {}
     churn: list[ChurnEvent] = []
     for event in events:
@@ -154,7 +175,9 @@ def _schedule_from_events(
         else:
             churn.append(event[1])
     return ReplaySchedule(
-        ties=ties, churn=tuple(churn) if churn_recorded else None
+        ties=ties,
+        churn=tuple(churn) if churn_recorded else None,
+        rebalances=rebalances,
     )
 
 
@@ -168,6 +191,7 @@ def shrink_outcome(
     assert outcome.violation is not None
     trace = outcome.trace
     churn_recorded = trace.churn is not None
+    rebalances = trace.rebalances
     events: list[tuple] = [
         ("tie", index, value) for index, value in enumerate(trace.ties)
     ]
@@ -175,7 +199,7 @@ def shrink_outcome(
     target_check = outcome.violation.check
 
     def still_fails(subset: list[tuple]) -> bool:
-        schedule = _schedule_from_events(subset, churn_recorded)
+        schedule = _schedule_from_events(subset, churn_recorded, rebalances)
         oracle = build_oracle(plan.oracle, plan.oracle_params)
         replay = run_case(outcome.case, oracle=oracle, schedule=schedule)
         return (
@@ -184,7 +208,7 @@ def shrink_outcome(
         )
 
     shrunk = ddmin(events, still_fails, max_tests=plan.shrink_budget)
-    minimal = _schedule_from_events(shrunk.kept, churn_recorded)
+    minimal = _schedule_from_events(shrunk.kept, churn_recorded, rebalances)
     return minimal, shrunk, len(events)
 
 
@@ -222,6 +246,7 @@ def run_fuzz(
             failure_message=violation.detail,
             ties=dict(minimal.ties),
             churn=minimal.churn,
+            rebalances=minimal.rebalances,
             original_events=original_count,
             minimal_events=len(shrunk.kept),
             shrink_tests=shrunk.tests_run,

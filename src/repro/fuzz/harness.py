@@ -25,7 +25,7 @@ from typing import Mapping
 
 from repro.experiments.runner import ExperimentScale
 from repro.fuzz.oracle import FuzzOracle, OracleViolation
-from repro.net.replay import ChurnEvent, ReplaySchedule, TieRecorder
+from repro.net.replay import ChurnEvent, RebalanceEvent, ReplaySchedule, TieRecorder
 from repro.sim.simulator import FlowSimulator, SimulationResult
 
 __all__ = ["CaseOutcome", "FuzzCase", "RecordedTrace", "run_case"]
@@ -45,6 +45,8 @@ class FuzzCase:
         join_rate: Poisson server-join rate (events/sec) in every phase.
         fail_rate: Poisson server-failure rate (events/sec) in every phase.
         shards: Chord ring shards (power of two).
+        partition: Partition map for sharded cases (``"static"`` or
+            ``"adaptive"``; the latter exercises online rebalancing).
         scale_factor: Down-scaling factor for :meth:`ExperimentScale.scaled`.
         phase_periods: Load-check periods per workload phase.
     """
@@ -56,6 +58,7 @@ class FuzzCase:
     join_rate: float = 0.0
     fail_rate: float = 0.0
     shards: int = 1
+    partition: str = "static"
     scale_factor: int = 100
     phase_periods: int = 2
 
@@ -70,6 +73,8 @@ class FuzzCase:
             parts.append(f"j{self.join_rate:g}-f{self.fail_rate:g}")
         if self.shards != 1:
             parts.append(f"sh{self.shards}")
+        if self.partition != "static":
+            parts.append(self.partition)
         return "-".join(parts)
 
     def to_dict(self) -> dict:
@@ -100,6 +105,7 @@ class FuzzCase:
             join_rate=self.join_rate,
             fail_rate=self.fail_rate,
             shards=self.shards,
+            partition=self.partition,
         )
 
     def build_simulator(
@@ -134,6 +140,9 @@ class RecordedTrace:
             transports without a tie tape).
         churn: Every executed membership event with its identity pinned
             (``None`` when the run was not recorded with churn capture).
+        rebalances: Every installed partition map with its boundaries and
+            version pinned (``None`` when the run was not recorded; an empty
+            tuple means the run was recorded and installed no map).
         deliveries: Tail of the transport's delivery ring buffer —
             ``(time, server, payload type)`` rows kept for artifact context,
             not needed for replay.
@@ -141,11 +150,12 @@ class RecordedTrace:
 
     ties: tuple[float, ...] = ()
     churn: tuple[ChurnEvent, ...] | None = None
+    rebalances: tuple[RebalanceEvent, ...] | None = None
     deliveries: tuple[tuple[float, str, str], ...] = ()
 
     def schedule(self) -> ReplaySchedule:
         """The full (unshrunk) replay schedule for this trace."""
-        return ReplaySchedule.full(self.ties, self.churn)
+        return ReplaySchedule.full(self.ties, self.churn, self.rebalances)
 
 
 @dataclass
@@ -198,6 +208,7 @@ def run_case(
                 recorder = TieRecorder(transport.ready_source)
                 transport.set_ready_source(recorder)
             simulator.record_churn = True
+            simulator.record_rebalances = True
             transport.enable_delivery_log()
         if oracle is not None:
             oracle.bind(simulator)
@@ -215,6 +226,7 @@ def run_case(
             trace = RecordedTrace(
                 ties=tuple(recorder.draws) if recorder is not None else (),
                 churn=tuple(simulator.churn_log),
+                rebalances=tuple(simulator.rebalance_log),
                 deliveries=tuple(
                     list(transport.delivery_log)[-DELIVERY_TAIL_LIMIT:]
                 ),

@@ -98,6 +98,30 @@ class InvariantOracle(FuzzOracle):
         for check, passed, detail in self._sample_checks(sample):
             if not passed:
                 raise OracleViolation(check, detail)
+        self._check_partition(system)
+
+    @staticmethod
+    def _check_partition(system) -> None:
+        """Every registered group's key lands on the shard that owns it.
+
+        The partition map is the single routing authority after a rebalance:
+        a group registered to a server of some other shard would be
+        unreachable through ``shard_of_key`` routing.  Single-ring systems
+        have no partition to check.
+        """
+        router = system.router
+        if router.shard_count <= 1:
+            return
+        for group, owner in sorted(system.active_groups().items()):
+            key_shard = router.shard_of_key(group.virtual_key)
+            owner_shard = router.server_shard(owner)
+            if key_shard != owner_shard:
+                raise OracleViolation(
+                    "metrics:partition",
+                    f"group {group} maps to shard {key_shard} (partition "
+                    f"version {router.partition_version}) but its owner "
+                    f"{owner!r} lives on shard {owner_shard}",
+                )
 
     @staticmethod
     def _sample_checks(sample: PeriodSample):
@@ -158,6 +182,15 @@ class InvariantOracle(FuzzOracle):
             f"shard_count={sample.shard_count} "
             f"peaks={len(sample.shard_peak_loads)} "
             f"imbalance={sample.cross_shard_imbalance} at t={sample.time}",
+        )
+        yield (
+            "metrics:partition",
+            sample.groups_migrated >= 0
+            and sample.partition_version >= 0
+            and (sample.shard_count > 1 or sample.groups_migrated == 0),
+            f"migrated={sample.groups_migrated} "
+            f"version={sample.partition_version} "
+            f"shard_count={sample.shard_count} at t={sample.time}",
         )
 
 

@@ -28,6 +28,14 @@ executed join/failure events are captured as :class:`ChurnEvent` records
 :class:`~repro.sim.simulator.FlowSimulator` replays a
 :class:`ReplaySchedule`'s churn list verbatim instead of drawing fresh
 Poisson arrivals.
+
+Partition rebalances are the third: an adaptive-partition run's installed
+maps are captured as :class:`RebalanceEvent` records (boundaries and version
+pinned), and a schedule carrying them replays those maps verbatim instead of
+recomputing boundaries from observed load.  The recompute is itself a pure
+function of the workload measure, so recorded and recomputed maps agree on
+an unshrunk schedule — pinning exists so shrunk schedules keep the exact
+failing partition history.
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ from repro.net.latency import LatencyModel
 
 __all__ = [
     "ChurnEvent",
+    "RebalanceEvent",
     "ReplaySchedule",
     "ReplayTransport",
     "TieRecorder",
@@ -79,6 +88,38 @@ class ChurnEvent:
         return cls(when=float(when), kind=kind, server=server, node_id=node_id)
 
 
+@dataclass(frozen=True, slots=True)
+class RebalanceEvent:
+    """One installed partition map, pinned for bit-identical replay.
+
+    Attributes:
+        when: Simulation time (period boundary) the map was installed at.
+        version: The installed map's version (strictly increasing per run).
+        boundaries: The installed map's shard boundaries, verbatim.
+    """
+
+    when: float
+    version: int
+    boundaries: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.version < 1:
+            raise ValueError(f"rebalance version must be >= 1, got {self.version}")
+
+    def to_json(self) -> list:
+        """A JSON-ready representation (stable field order)."""
+        return [self.when, self.version, list(self.boundaries)]
+
+    @classmethod
+    def from_json(cls, data: Sequence) -> "RebalanceEvent":
+        when, version, boundaries = data
+        return cls(
+            when=float(when),
+            version=int(version),
+            boundaries=tuple(int(value) for value in boundaries),
+        )
+
+
 @dataclass(frozen=True)
 class ReplaySchedule:
     """A recorded (possibly shrunk) schedule a run can be forced onto.
@@ -90,17 +131,27 @@ class ReplaySchedule:
         churn: The membership events to execute, verbatim, instead of
             drawing Poisson arrivals.  ``None`` leaves the simulator's own
             churn model in charge (tape-only replay).
+        rebalances: The partition maps to install, verbatim, instead of
+            recomputing boundaries from observed load.  ``None`` leaves the
+            simulator's live rebalance step in charge.
     """
 
     ties: Mapping[int, float] = field(default_factory=dict)
     churn: tuple[ChurnEvent, ...] | None = None
+    rebalances: tuple[RebalanceEvent, ...] | None = None
 
     @classmethod
-    def full(cls, ties: Sequence[float], churn: Sequence[ChurnEvent] | None) -> "ReplaySchedule":
-        """The unshrunk schedule: every recorded tie and churn event kept."""
+    def full(
+        cls,
+        ties: Sequence[float],
+        churn: Sequence[ChurnEvent] | None,
+        rebalances: Sequence[RebalanceEvent] | None = None,
+    ) -> "ReplaySchedule":
+        """The unshrunk schedule: every recorded tie, churn and rebalance kept."""
         return cls(
             ties={index: value for index, value in enumerate(ties)},
             churn=None if churn is None else tuple(churn),
+            rebalances=None if rebalances is None else tuple(rebalances),
         )
 
 

@@ -55,6 +55,10 @@ class PeriodSample:
             loads — 1.0 means the shards carry identical totals, k means the
             hottest shard carries k× the average.  0.0 for single-ring runs
             and for periods with no load.
+        groups_migrated: Key groups moved between shards by partition
+            rebalances during the period (0 with the static partition).
+        partition_version: Version of the partition map in force at the end
+            of the period (0 for single-ring runs and the static partition).
     """
 
     time: float
@@ -77,6 +81,8 @@ class PeriodSample:
     shard_count: int = 1
     shard_peak_loads: tuple[float, ...] = ()
     cross_shard_imbalance: float = 0.0
+    groups_migrated: int = 0
+    partition_version: int = 0
 
 
 @dataclass(frozen=True)

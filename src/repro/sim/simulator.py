@@ -29,8 +29,9 @@ from dataclasses import dataclass, field
 from repro.core.config import ClashConfig
 from repro.core.messages import MessageCategory
 from repro.core.protocol import ClashSystem
+from repro.dht.partition import PARTITION_KINDS, LoadProportionalPartition, PartitionMap
 from repro.net import TRANSPORT_KINDS, ConstantLatency, build_transport, transport_spec
-from repro.net.replay import ChurnEvent, ReplaySchedule
+from repro.net.replay import ChurnEvent, RebalanceEvent, ReplaySchedule
 from repro.sim.engine import SimulationEngine
 from repro.sim.loadmeasure import LoadMeasure
 from repro.sim.metrics import (
@@ -110,6 +111,13 @@ verify_invariants` after every membership event and at every period
         churn_seed: Independent seed for the Poisson join/failure arrival
             streams.  ``None`` derives them from ``seed`` as before; setting
             it lets the fuzzer sweep churn timings independently.
+        partition: Which partition map governs the key-space → shard split —
+            one of :data:`repro.dht.partition.PARTITION_KINDS`: ``"static"``
+            (equal top-bits prefix ranges, the pre-refactor behaviour,
+            bit-identical) or ``"adaptive"`` (boundaries recomputed from the
+            workload's expected per-prefix load at each period boundary, with
+            moved key groups migrated between shards online).  Requires
+            ``shards > 1`` when adaptive.
     """
 
     server_count: int = 100
@@ -130,6 +138,7 @@ verify_invariants` after every membership event and at every period
     verify_invariants: bool = False
     delivery_seed: int | None = None
     churn_seed: int | None = None
+    partition: str = "static"
 
     def __post_init__(self) -> None:
         check_type("force_full_stabilise", self.force_full_stabilise, bool)
@@ -173,6 +182,16 @@ verify_invariants` after every membership event and at every period
             raise ValueError(
                 f"transport {self.transport!r} is not shard-aware; "
                 "sharded runs need per-shard endpoint namespacing"
+            )
+        if self.partition not in PARTITION_KINDS:
+            raise ValueError(
+                f"partition must be one of {', '.join(PARTITION_KINDS)}, "
+                f"got {self.partition!r}"
+            )
+        if self.partition != "static" and self.shards <= 1:
+            raise ValueError(
+                "an adaptive partition needs shards > 1; a single ring has "
+                "no shard boundaries to move"
             )
 
     @classmethod
@@ -370,6 +389,22 @@ class FlowSimulator:
         #: name/node id pinned (the fuzz harness turns this on).
         self.record_churn = False
         self.churn_log: list[ChurnEvent] = []
+        # Adaptive partitioning: boundaries recomputed at each period
+        # boundary from the workload's expected per-prefix load.  A replay
+        # schedule carrying recorded rebalances supersedes the live recompute
+        # entirely (the maps install verbatim, pinned by version).
+        self._adaptive_partition = params.partition == "adaptive" and params.shards > 1
+        self._forced_rebalances: list[RebalanceEvent] | None = (
+            sorted(schedule.rebalances, key=lambda event: (event.when, event.version))
+            if schedule is not None and schedule.rebalances is not None
+            else None
+        )
+        #: When True, every installed partition map is appended to
+        #: :attr:`rebalance_log` as a replayable RebalanceEvent with its
+        #: boundaries and version pinned (the fuzz harness turns this on).
+        self.record_rebalances = False
+        self.rebalance_log: list[RebalanceEvent] = []
+        self._period_migrated = 0
         # Fuzz oracle hooks (see set_oracles): called at every quiescent
         # point — after membership events, after each balance iteration, and
         # at period boundaries.  None means no oracle is installed.
@@ -779,6 +814,77 @@ class FlowSimulator:
         self._check_invariant_oracle()
 
     # ------------------------------------------------------------------ #
+    # Partition rebalancing at period boundaries
+    # ------------------------------------------------------------------ #
+
+    def _maybe_rebalance(self, measure: LoadMeasure, when: float) -> None:
+        """Recompute (or replay) the partition map at a period boundary.
+
+        The live path derives target boundaries from the period workload's
+        expected per-prefix load — a pure function of the scenario and the
+        scale parameters, never of delivery order or membership history — so
+        the rebalance sequence is identical across transports.  A replay
+        schedule carrying recorded rebalances installs those maps verbatim
+        instead, keeping shrunk schedules pinned to the exact failing
+        partition history.
+        """
+        if self._system.shard_count <= 1:
+            return
+        if self._forced_rebalances is not None:
+            while self._forced_rebalances and self._forced_rebalances[0].when <= when:
+                event = self._forced_rebalances.pop(0)
+                new_map = PartitionMap(
+                    boundaries=event.boundaries,
+                    key_bits=self._config.key_bits,
+                    granularity_depth=self._config.initial_depth,
+                    version=event.version,
+                )
+                self._apply_rebalance(new_map, event.when)
+            return
+        if not self._adaptive_partition:
+            return
+        loads = measure.rate_by_prefix(self._config.initial_depth)
+        new_map = LoadProportionalPartition.from_loads(
+            loads,
+            key_bits=self._config.key_bits,
+            shard_count=self._system.shard_count,
+            previous=self._system.router.partition,
+        )
+        if new_map.boundaries == self._system.router.partition.boundaries:
+            # Already on target: no migration, and — crucially — no version
+            # bump, so a steady workload leaves the map untouched.
+            return
+        self._apply_rebalance(new_map, when)
+
+    def _apply_rebalance(self, new_map: PartitionMap, when: float) -> None:
+        """Install one partition map and migrate the groups it moves.
+
+        Runs inside a churn-unsafe window: the migration handoffs pump the
+        transport, and a membership event landing mid-transfer must defer to
+        the next quiescent point exactly as during a balance pass.  Moved
+        groups enter the protocol's touched/retired logs, so the incremental
+        load assigner refreshes them like any churn handoff.
+        """
+        self._churn_safe = False
+        try:
+            migrated = self._system.rebalance_partition(new_map)
+        finally:
+            self._churn_safe = True
+        self._drain_deferred_churn()
+        self._period_migrated += len(migrated)
+        if self.record_rebalances:
+            self.rebalance_log.append(
+                RebalanceEvent(
+                    when=when,
+                    version=new_map.version,
+                    boundaries=new_map.boundaries,
+                )
+            )
+        if self.verify_after_membership:
+            self._system.verify_invariants()
+        self._check_invariant_oracle()
+
+    # ------------------------------------------------------------------ #
     # Protocol reaction within one period
     # ------------------------------------------------------------------ #
 
@@ -883,6 +989,9 @@ class FlowSimulator:
             self._sources.switch_workload(spec)
             self._queries.switch_workload(spec)
             measure = self._build_measure(spec)
+            # Rebalance first, so the period's balance pass and metrics see
+            # the partition the period runs under.
+            self._maybe_rebalance(measure, time)
             # The period's protocol traffic pumps the event kernel; churn
             # events landing mid-exchange are deferred until it completes.
             self._churn_safe = False
@@ -943,10 +1052,13 @@ class FlowSimulator:
                 shard_count=self._system.shard_count,
                 shard_peak_loads=shard_peaks,
                 cross_shard_imbalance=shard_imbalance,
+                groups_migrated=self._period_migrated,
+                partition_version=self._system.partition_version,
             )
             self._period_joins = 0
             self._period_failures = 0
             self._period_reassigned = 0
+            self._period_migrated = 0
             self._recorder.record(sample)
             # Period boundary: the canonical quiescent point.  The knob runs
             # the full invariant pass; installed fuzz oracles additionally

@@ -1,0 +1,162 @@
+"""Online partition rebalancing: group migration via the join-handoff path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.app.query_store import Query
+from repro.core.config import ClashConfig
+from repro.core.protocol import ClashSystem
+from repro.dht.partition import PartitionMap, StaticPrefixPartition
+from repro.keys.identifier import IdentifierKey
+from repro.util.rng import RandomStream
+
+# small_scale: 12-bit keys, initial_depth=2 → four depth-2 prefix blocks of
+# 1024 keys each; a two-shard static map cuts at 2048.
+KEY_BITS = 12
+BLOCK = 1 << (KEY_BITS - 2)
+
+
+@pytest.fixture
+def system() -> ClashSystem:
+    return ClashSystem.create(
+        ClashConfig.small_scale(), server_count=16, rng=RandomStream(55), shards=2
+    )
+
+
+def _two_shard_map(cut_blocks: int, version: int = 1) -> PartitionMap:
+    """A two-shard map cutting after ``cut_blocks`` depth-2 blocks."""
+    return PartitionMap(
+        boundaries=(0, cut_blocks * BLOCK, 1 << KEY_BITS),
+        key_bits=KEY_BITS,
+        granularity_depth=2,
+        version=version,
+    )
+
+
+class TestRebalancePartition:
+    def test_moved_groups_migrate_to_their_new_shard(self, system):
+        # Shrinking shard 0 to one block moves every group whose virtual
+        # key lies in [1024, 2048) over to shard 1.
+        before = {
+            group
+            for group in system.active_groups()
+            if BLOCK <= group.virtual_key.value < 2 * BLOCK
+        }
+        assert before  # the depth-2 root in that block is always active
+        migrated = system.rebalance_partition(_two_shard_map(1))
+        assert set(migrated) == before
+        router = system.router
+        assert system.partition_version == 1
+        for group, owner in system.active_groups().items():
+            shard = router.shard_of_key(group.virtual_key)
+            assert router.server_shard(owner) == shard
+        system.verify_invariants()
+
+    def test_former_owner_is_reported_and_cleared(self, system):
+        owners_before = dict(system.active_groups())
+        migrated = system.rebalance_partition(_two_shard_map(1))
+        for group, former in migrated.items():
+            assert owners_before[group] == former
+            new_owner = system.owner_of_group(group)
+            assert new_owner != former
+            assert group not in system.server(former).table
+
+    def test_queries_ride_along_with_their_group(self, system):
+        key = IdentifierKey(value=BLOCK + 7, width=KEY_BITS)
+        group, owner = system.find_active_group(key)
+        system.server(owner).store_query(Query(key=key, client="c1", query_id=1))
+        transfers_before = system.messages.snapshot().get("state_transfer", 0.0)
+        migrated = system.rebalance_partition(_two_shard_map(1))
+        assert group in migrated
+        new_owner = system.owner_of_group(group)
+        assert len(system.server(new_owner).query_store) == 1
+        assert len(system.server(owner).query_store) == 0
+        transfers = system.messages.snapshot().get("state_transfer", 0.0)
+        assert transfers == transfers_before + 1
+
+    def test_message_accounting_per_migrated_group(self, system):
+        before = system.messages.snapshot()
+        migrated = system.rebalance_partition(_two_shard_map(1))
+        after = system.messages.snapshot()
+        moved = len(migrated)
+        assert moved > 0
+        # Release request + reply (MERGE), transfer + ack (SPLIT), and no
+        # stored queries ⇒ no state transfer.
+        assert after.get("merge", 0.0) - before.get("merge", 0.0) == 2 * moved
+        assert after.get("split", 0.0) - before.get("split", 0.0) == 2 * moved
+        assert after.get("state_transfer", 0.0) == before.get("state_transfer", 0.0)
+
+    def test_unchanged_boundaries_install_without_migration(self, system):
+        migrated = system.rebalance_partition(_two_shard_map(2))
+        assert migrated == {}
+        assert system.partition_version == 1
+        system.verify_invariants()
+
+    def test_rebalance_survives_splits_and_further_rebalances(self, system):
+        rng = RandomStream(3)
+        for _ in range(12):
+            groups = list(system.active_groups().items())
+            group, owner = groups[rng.randint(0, len(groups) - 1)]
+            system.server(owner).set_group_rate(
+                group, 3 * system.config.server_capacity
+            )
+            system.split_server(owner)
+        system.rebalance_partition(_two_shard_map(1, version=1))
+        system.verify_invariants()
+        # Swing the boundary the other way: groups move back and beyond.
+        system.rebalance_partition(_two_shard_map(3, version=2))
+        assert system.partition_version == 2
+        system.verify_invariants()
+        router = system.router
+        for group, owner in system.active_groups().items():
+            assert router.server_shard(owner) == router.shard_of_key(
+                group.virtual_key
+            )
+
+    def test_single_ring_deployment_rejected(self, small_config):
+        system = ClashSystem.create(
+            small_config, server_count=8, rng=RandomStream(9)
+        )
+        with pytest.raises(ValueError):
+            system.rebalance_partition(
+                StaticPrefixPartition(key_bits=KEY_BITS, shard_count=1, version=1)
+            )
+
+    def test_boundaries_finer_than_initial_depth_rejected(self, system):
+        # Depth-3 blocks could cut through a depth-2 root's key range.
+        fine = PartitionMap(
+            boundaries=(0, 1 << (KEY_BITS - 3), 1 << KEY_BITS),
+            key_bits=KEY_BITS,
+            granularity_depth=3,
+            version=1,
+        )
+        with pytest.raises(ValueError, match="initial_depth"):
+            system.rebalance_partition(fine)
+
+    def test_stale_version_rejected(self, system):
+        system.rebalance_partition(_two_shard_map(1, version=2))
+        with pytest.raises(ValueError, match="version"):
+            system.rebalance_partition(_two_shard_map(3, version=2))
+        with pytest.raises(ValueError, match="version"):
+            system.rebalance_partition(_two_shard_map(3, version=1))
+
+    def test_shard_count_mismatch_rejected(self, system):
+        wrong = StaticPrefixPartition(key_bits=KEY_BITS, shard_count=4, version=1)
+        with pytest.raises(ValueError):
+            system.rebalance_partition(wrong)
+
+    def test_membership_still_works_after_a_rebalance(self, system):
+        system.rebalance_partition(_two_shard_map(1))
+        joined = system.handle_server_join("late-joiner")
+        system.verify_invariants()
+        joiner_shard = system.router.server_shard("late-joiner")
+        for group in joined:
+            assert system.router.shard_of_key(group.virtual_key) == joiner_shard
+        victim = next(
+            name
+            for name in sorted(system.server_names())
+            if system.can_remove_server(name)
+        )
+        system.handle_server_failure(victim)
+        system.verify_invariants()

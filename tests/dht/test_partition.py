@@ -1,0 +1,329 @@
+"""Partition maps: unit coverage plus hypothesis property tests.
+
+The properties the ISSUE pins: a map's ranges are contiguous, cover the
+whole key space, never overlap, and ``shard_of_key`` agrees with a
+brute-force scan over the ranges — across random boundary sets and
+versions.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dht.partition import (
+    DEFAULT_BLOCK_LIMIT,
+    PARTITION_KINDS,
+    LoadProportionalPartition,
+    PartitionMap,
+    StaticPrefixPartition,
+    load_proportional_cuts,
+    step_block_cuts,
+)
+from repro.keys.identifier import IdentifierKey
+
+KEY_BITS = 10
+DEPTH = 5
+BLOCKS = 1 << DEPTH
+BLOCK = 1 << (KEY_BITS - DEPTH)
+SPACE = 1 << KEY_BITS
+
+
+def _map_from_cuts(cuts, version=0) -> PartitionMap:
+    return PartitionMap(
+        boundaries=[cut * BLOCK for cut in cuts],
+        key_bits=KEY_BITS,
+        granularity_depth=DEPTH,
+        version=version,
+    )
+
+
+@st.composite
+def partition_maps(draw) -> PartitionMap:
+    """A random valid map: 1–8 shards, random block cuts, random version."""
+    shard_count = draw(st.integers(min_value=1, max_value=8))
+    interior = draw(
+        st.sets(
+            st.integers(min_value=1, max_value=BLOCKS - 1),
+            min_size=shard_count - 1,
+            max_size=shard_count - 1,
+        )
+    )
+    version = draw(st.integers(min_value=0, max_value=10_000))
+    return _map_from_cuts([0, *sorted(interior), BLOCKS], version=version)
+
+
+class TestPartitionMapProperties:
+    @given(pmap=partition_maps())
+    @settings(max_examples=100)
+    def test_ranges_are_contiguous_and_cover_the_space(self, pmap):
+        ranges = pmap.ranges()
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == SPACE
+        for (_, end), (start, _) in zip(ranges, ranges[1:]):
+            assert end == start  # contiguous: no gap, no overlap
+        assert sum(end - start for start, end in ranges) == SPACE
+
+    @given(pmap=partition_maps())
+    @settings(max_examples=100)
+    def test_ranges_never_overlap(self, pmap):
+        ranges = pmap.ranges()
+        assert all(start < end for start, end in ranges)
+        flat = [value for pair in ranges for value in pair]
+        assert flat == sorted(flat)
+
+    @given(pmap=partition_maps())
+    @settings(max_examples=50)
+    def test_shard_of_key_agrees_with_brute_force(self, pmap):
+        ranges = pmap.ranges()
+        for value in range(SPACE):
+            expected = next(
+                shard
+                for shard, (start, end) in enumerate(ranges)
+                if start <= value < end
+            )
+            assert pmap.shard_of_value(value) == expected
+            key = IdentifierKey(value=value, width=KEY_BITS)
+            assert pmap.shard_of_key(key) == expected
+
+    @given(pmap=partition_maps())
+    @settings(max_examples=100)
+    def test_every_key_belongs_to_exactly_one_range(self, pmap):
+        for value in range(0, SPACE, BLOCK):
+            containing = [
+                shard
+                for shard, (start, end) in enumerate(pmap.ranges())
+                if start <= value < end
+            ]
+            assert len(containing) == 1
+            assert containing[0] == pmap.shard_of_value(value)
+
+
+class TestPartitionMapValidation:
+    def test_boundaries_must_start_at_zero_and_end_at_space(self):
+        with pytest.raises(ValueError):
+            _map_from_cuts([1, BLOCKS])
+        with pytest.raises(ValueError):
+            _map_from_cuts([0, BLOCKS - 1])
+
+    def test_boundaries_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            _map_from_cuts([0, 8, 8, BLOCKS])
+
+    def test_boundaries_must_be_block_aligned(self):
+        with pytest.raises(ValueError):
+            PartitionMap(
+                boundaries=[0, BLOCK + 1, SPACE],
+                key_bits=KEY_BITS,
+                granularity_depth=DEPTH,
+            )
+
+    def test_at_least_one_range_required(self):
+        with pytest.raises(ValueError):
+            PartitionMap(boundaries=[0], key_bits=KEY_BITS, granularity_depth=DEPTH)
+
+    def test_negative_version_rejected(self):
+        with pytest.raises(ValueError):
+            _map_from_cuts([0, BLOCKS], version=-1)
+
+    def test_granularity_depth_bounded_by_key_bits(self):
+        with pytest.raises(ValueError):
+            PartitionMap(
+                boundaries=[0, SPACE],
+                key_bits=KEY_BITS,
+                granularity_depth=KEY_BITS + 1,
+            )
+
+    def test_out_of_space_value_rejected(self):
+        pmap = _map_from_cuts([0, 16, BLOCKS])
+        with pytest.raises(ValueError):
+            pmap.shard_of_value(SPACE)
+        with pytest.raises(ValueError):
+            pmap.shard_of_value(-1)
+
+    def test_key_width_mismatch_rejected(self):
+        pmap = _map_from_cuts([0, 16, BLOCKS])
+        with pytest.raises(ValueError):
+            pmap.shard_of_key(IdentifierKey(value=0, width=KEY_BITS + 1))
+
+    def test_equality_covers_version_and_boundaries(self):
+        assert _map_from_cuts([0, 16, BLOCKS]) == _map_from_cuts([0, 16, BLOCKS])
+        assert _map_from_cuts([0, 16, BLOCKS]) != _map_from_cuts([0, 8, BLOCKS])
+        assert _map_from_cuts([0, 16, BLOCKS], version=1) != _map_from_cuts(
+            [0, 16, BLOCKS], version=2
+        )
+
+    def test_partition_kinds_are_the_cli_vocabulary(self):
+        assert PARTITION_KINDS == ("static", "adaptive")
+
+
+class TestStaticPrefixPartition:
+    @pytest.mark.parametrize("shard_count", [1, 2, 4, 8])
+    def test_matches_the_top_bits_rule_everywhere(self, shard_count):
+        static = StaticPrefixPartition(key_bits=KEY_BITS, shard_count=shard_count)
+        shard_bits = shard_count.bit_length() - 1
+        assert static.shard_bits == shard_bits
+        assert static.shard_count == shard_count
+        for value in range(SPACE):
+            key = IdentifierKey(value=value, width=KEY_BITS)
+            assert static.shard_of_key(key) == key.prefix(shard_bits)
+            # The generic bisect path agrees with the prefix fast path.
+            assert static.shard_of_value(value) == key.prefix(shard_bits)
+
+    def test_ranges_are_equal_width(self):
+        static = StaticPrefixPartition(key_bits=KEY_BITS, shard_count=4)
+        widths = {end - start for start, end in static.ranges()}
+        assert widths == {SPACE // 4}
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            StaticPrefixPartition(key_bits=KEY_BITS, shard_count=3)
+
+    def test_more_shards_than_keys_rejected(self):
+        with pytest.raises(ValueError):
+            StaticPrefixPartition(key_bits=2, shard_count=8)
+
+    def test_width_mismatch_rejected_on_the_fast_path(self):
+        static = StaticPrefixPartition(key_bits=KEY_BITS, shard_count=4)
+        with pytest.raises(ValueError):
+            static.shard_of_key(IdentifierKey(value=0, width=KEY_BITS - 1))
+
+
+block_loads = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=8,
+    max_size=8,
+)
+
+
+class TestLoadProportionalCuts:
+    def test_uniform_load_cuts_equally(self):
+        assert load_proportional_cuts([1.0] * 8, 4) == [0, 2, 4, 6, 8]
+
+    def test_skewed_load_shifts_the_cuts(self):
+        # All the load in the first two blocks: the remaining shards share
+        # the cold tail but every shard keeps at least one block.
+        cuts = load_proportional_cuts([10.0, 10.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0], 4)
+        assert cuts[0] == 0 and cuts[-1] == 8
+        assert cuts == sorted(set(cuts))
+        assert cuts[1] == 1  # the hot half splits across the first shards
+
+    def test_zero_load_degrades_to_equal_width(self):
+        assert load_proportional_cuts([0.0] * 8, 4) == [0, 2, 4, 6, 8]
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            load_proportional_cuts([1.0, -1.0, 1.0, 1.0], 2)
+
+    def test_too_few_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            load_proportional_cuts([1.0, 1.0], 4)
+
+    @given(loads=block_loads, shard_count=st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=200)
+    def test_cuts_are_always_a_valid_partition(self, loads, shard_count):
+        cuts = load_proportional_cuts(loads, shard_count)
+        assert cuts[0] == 0 and cuts[-1] == len(loads)
+        assert len(cuts) == shard_count + 1
+        # Strictly increasing ⇒ every shard keeps at least one block.
+        assert all(left < right for left, right in zip(cuts, cuts[1:]))
+
+
+class TestStepBlockCuts:
+    def test_moves_each_cut_at_most_limit(self):
+        stepped = step_block_cuts([0, 10, 20, 32], [0, 2, 30, 32], limit=4)
+        assert stepped == [0, 6, 24, 32]
+
+    def test_within_limit_snaps_to_target(self):
+        assert step_block_cuts([0, 10, 32], [0, 12, 32], limit=4) == [0, 12, 32]
+
+    def test_endpoints_are_fixed(self):
+        with pytest.raises(ValueError):
+            step_block_cuts([0, 10, 32], [1, 10, 32], limit=4)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            step_block_cuts([0, 10, 32], [0, 10, 20, 32], limit=4)
+
+    @given(
+        current=st.sets(st.integers(1, BLOCKS - 1), min_size=3, max_size=3),
+        target=st.sets(st.integers(1, BLOCKS - 1), min_size=3, max_size=3),
+        limit=st.integers(min_value=1, max_value=BLOCKS),
+    )
+    @settings(max_examples=200)
+    def test_stepping_preserves_validity_and_the_bound(self, current, target, limit):
+        current = [0, *sorted(current), BLOCKS]
+        target = [0, *sorted(target), BLOCKS]
+        stepped = step_block_cuts(current, target, limit)
+        assert stepped[0] == 0 and stepped[-1] == BLOCKS
+        assert all(left < right for left, right in zip(stepped, stepped[1:]))
+        assert all(
+            abs(new - old) <= limit for new, old in zip(stepped[1:-1], current[1:-1])
+        )
+
+
+class TestLoadProportionalPartition:
+    def test_from_scratch_map_gets_version_one(self):
+        pmap = LoadProportionalPartition.from_loads(
+            [1.0] * BLOCKS, key_bits=KEY_BITS, shard_count=4
+        )
+        assert pmap.version == 1
+        assert pmap.shard_count == 4
+        assert pmap.granularity_depth == DEPTH
+
+    def test_stepping_from_previous_bumps_the_version(self):
+        previous = StaticPrefixPartition(key_bits=KEY_BITS, shard_count=4, version=3)
+        pmap = LoadProportionalPartition.from_loads(
+            [1.0] * BLOCKS, key_bits=KEY_BITS, shard_count=4, previous=previous
+        )
+        assert pmap.version == 4
+
+    def test_stepping_is_bounded_by_the_block_limit(self):
+        previous = StaticPrefixPartition(key_bits=KEY_BITS, shard_count=2)
+        # All load in block 0 pulls the single interior cut toward 1; from
+        # the midpoint (16) it may move at most block_limit blocks per step.
+        loads = [100.0] + [0.0] * (BLOCKS - 1)
+        pmap = LoadProportionalPartition.from_loads(
+            loads, key_bits=KEY_BITS, shard_count=2, previous=previous, block_limit=4
+        )
+        assert pmap.boundaries[1] == (16 - 4) * BLOCK
+
+    def test_default_block_limit_applies(self):
+        previous = StaticPrefixPartition(key_bits=KEY_BITS, shard_count=2)
+        loads = [100.0] + [0.0] * (BLOCKS - 1)
+        pmap = LoadProportionalPartition.from_loads(
+            loads, key_bits=KEY_BITS, shard_count=2, previous=previous
+        )
+        assert pmap.boundaries[1] == (16 - DEFAULT_BLOCK_LIMIT) * BLOCK
+
+    def test_previous_shard_count_mismatch_rejected(self):
+        previous = StaticPrefixPartition(key_bits=KEY_BITS, shard_count=2)
+        with pytest.raises(ValueError):
+            LoadProportionalPartition.from_loads(
+                [1.0] * BLOCKS, key_bits=KEY_BITS, shard_count=4, previous=previous
+            )
+
+    def test_previous_key_bits_mismatch_rejected(self):
+        previous = StaticPrefixPartition(key_bits=KEY_BITS + 2, shard_count=2)
+        with pytest.raises(ValueError):
+            LoadProportionalPartition.from_loads(
+                [1.0] * BLOCKS, key_bits=KEY_BITS, shard_count=2, previous=previous
+            )
+
+    def test_non_power_of_two_block_count_rejected(self):
+        with pytest.raises(ValueError):
+            LoadProportionalPartition.from_loads(
+                [1.0] * 6, key_bits=KEY_BITS, shard_count=2
+            )
+
+    @given(loads=block_loads, shard_count=st.sampled_from([2, 4]))
+    @settings(max_examples=100)
+    def test_random_profiles_always_yield_valid_maps(self, loads, shard_count):
+        pmap = LoadProportionalPartition.from_loads(
+            loads, key_bits=KEY_BITS, shard_count=shard_count
+        )
+        assert pmap.shard_count == shard_count
+        assert pmap.boundaries[0] == 0 and pmap.boundaries[-1] == SPACE
+        for value in range(0, SPACE, SPACE // len(loads)):
+            assert 0 <= pmap.shard_of_value(value) < shard_count

@@ -26,20 +26,46 @@ class TestSweep:
         )
 
     def test_one_point_per_combination(self, sweep):
-        combos = [(p.shards, p.join_rate, p.fail_rate) for p in sweep.points]
+        combos = [
+            (p.shards, p.partition, p.join_rate, p.fail_rate) for p in sweep.points
+        ]
+        # shards=1 has no boundaries to move, so only the static map runs
+        # there; every sharded count runs static and adaptive side by side.
         assert combos == [
-            (1, 0.0, 0.0),
-            (1, 0.01, 0.02),
-            (2, 0.0, 0.0),
-            (2, 0.01, 0.02),
-            (4, 0.0, 0.0),
-            (4, 0.01, 0.02),
+            (1, "static", 0.0, 0.0),
+            (1, "static", 0.01, 0.02),
+            (2, "static", 0.0, 0.0),
+            (2, "static", 0.01, 0.02),
+            (2, "adaptive", 0.0, 0.0),
+            (2, "adaptive", 0.01, 0.02),
+            (4, "static", 0.0, 0.0),
+            (4, "static", 0.01, 0.02),
+            (4, "adaptive", 0.0, 0.0),
+            (4, "adaptive", 0.01, 0.02),
         ]
 
     def test_baseline_is_the_unsharded_churn_free_control(self, sweep):
         control = sweep.baseline()
         assert control.shards == 1
+        assert control.partition == "static"
         assert control.join_rate == control.fail_rate == 0.0
+
+    def test_static_points_never_rebalance(self, sweep):
+        for point in sweep.points:
+            if point.partition == "static":
+                assert point.groups_migrated == 0
+                samples = point.result.metrics.samples
+                assert all(s.partition_version == 0 for s in samples)
+
+    def test_adaptive_points_version_monotonically(self, sweep):
+        for point in sweep.points:
+            if point.partition != "adaptive":
+                continue
+            versions = [s.partition_version for s in point.result.metrics.samples]
+            assert versions == sorted(versions)
+            # The paper workloads are skewed, so an adaptive 2+-shard run
+            # must install at least one non-trivial map.
+            assert versions[-1] >= 1
 
     def test_sharded_points_record_per_shard_metrics(self, sweep):
         for point in sweep.points:
@@ -78,6 +104,45 @@ class TestSweep:
         assert DEFAULT_SHARD_COUNTS == (1, 2, 4, 8)
 
 
+class TestAdaptiveImbalance:
+    """The headline claim: skew-aware boundaries even out the shard loads."""
+
+    @pytest.fixture(scope="class")
+    def four_shard_points(self):
+        # Four periods per phase give the bounded rebalance room to converge
+        # after each workload switch (it moves at most a few key-space
+        # blocks per period).
+        scale = ExperimentScale.scaled(factor=100, phase_periods=4)
+        sweep = run_shard_scaling(
+            scale, shard_counts=(4,), churn_rates=((0.0, 0.0),)
+        )
+        return {point.partition: point for point in sweep.points}
+
+    def test_adaptive_meets_the_imbalance_target(self, four_shard_points):
+        adaptive = four_shard_points["adaptive"]
+        # The acceptance bar: ≤ 1.3× peak-to-mean shard load at 4 shards
+        # once converged, on every workload phase (A, B and C).
+        assert adaptive.converged_imbalance <= 1.3
+
+    def test_adaptive_beats_static(self, four_shard_points):
+        static = four_shard_points["static"]
+        adaptive = four_shard_points["adaptive"]
+        assert adaptive.converged_imbalance < static.converged_imbalance
+        assert adaptive.mean_imbalance < static.mean_imbalance
+        assert adaptive.groups_migrated > 0
+        assert static.groups_migrated == 0
+
+    def test_adaptive_leaves_headline_metrics_within_noise(self, four_shard_points):
+        static = four_shard_points["static"]
+        adaptive = four_shard_points["adaptive"]
+        # Rebalancing changes which shard serves a key range, not how CLASH
+        # splits: lookup depth must be untouched and the global peak load
+        # must not regress (evening the shards can only relieve it).
+        assert adaptive.mean_depth == pytest.approx(static.mean_depth, rel=0.1)
+        assert adaptive.max_depth <= static.max_depth + 1
+        assert adaptive.peak_load_percent <= static.peak_load_percent * 1.05
+
+
 class TestCli:
     def test_shards_option_defaults_to_unset(self):
         args = build_parser().parse_args(["fig4"])
@@ -87,6 +152,20 @@ class TestCli:
         args = build_parser().parse_args(["shards", "--shards", "4"])
         assert args.figure == "shards"
         assert args.shards == 4
+
+    def test_partition_option_defaults_to_unset(self):
+        args = build_parser().parse_args(["shards"])
+        assert args.partition is None
+
+    def test_partition_option_parses(self):
+        args = build_parser().parse_args(
+            ["shards", "--shards", "4", "--partition", "adaptive"]
+        )
+        assert args.partition == "adaptive"
+
+    def test_partition_option_rejects_unknown_modes(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["shards", "--partition", "wild"])
 
     @pytest.mark.parametrize("shards", [1, 2, 4, 8])
     def test_shards_sweep_runs_from_the_cli(self, shards, tmp_path: pathlib.Path):
@@ -112,8 +191,42 @@ class TestCli:
         report = (tmp_path / "shard_scaling.txt").read_text()
         assert report.splitlines()[0].startswith("Shard scaling")
         rows = [line for line in report.splitlines() if line and line[0].isdigit()]
+        # Without an explicit --partition, sharded points run static and
+        # adaptive side by side; a single ring has only the static mode.
+        assert len(rows) == (1 if shards == 1 else 2)
+        for row in rows:
+            assert row.split("|")[0].strip() == str(shards)
+
+    def test_explicit_partition_pins_a_single_sweep_mode(
+        self, tmp_path: pathlib.Path
+    ):
+        exit_code = main(
+            [
+                "shards",
+                "--scale-factor",
+                "100",
+                "--phase-periods",
+                "2",
+                "--shards",
+                "2",
+                "--partition",
+                "adaptive",
+                "--join-rate",
+                "0",
+                "--fail-rate",
+                "0",
+                "--quiet",
+                "--output-dir",
+                str(tmp_path),
+            ]
+        )
+        assert exit_code == 0
+        report = (tmp_path / "shard_scaling.txt").read_text()
+        rows = [line for line in report.splitlines() if line and line[0].isdigit()]
         assert len(rows) == 1
-        assert rows[0].split("|")[0].strip() == str(shards)
+        cells = [cell.strip() for cell in rows[0].split("|")]
+        assert cells[0] == "2"
+        assert cells[3] == "adaptive"
 
     def test_asymmetric_churn_knobs_are_honoured(self, tmp_path: pathlib.Path):
         """`--fail-rate` alone must not inject joins (and vice versa)."""
@@ -166,3 +279,11 @@ class TestScaleValidation:
     def test_params_carry_the_shard_count(self):
         scale = dataclasses.replace(TINY, shards=4)
         assert scale.params().shards == 4
+
+    def test_rejects_unknown_partition(self):
+        with pytest.raises(ValueError, match="partition"):
+            dataclasses.replace(TINY, partition="wild")
+
+    def test_params_carry_the_partition(self):
+        scale = dataclasses.replace(TINY, shards=4, partition="adaptive")
+        assert scale.params().partition == "adaptive"

@@ -8,7 +8,7 @@ import pytest
 
 from repro.fuzz.artifact import ARTIFACT_FORMAT, ReproArtifact
 from repro.fuzz.harness import FuzzCase
-from repro.net.replay import ChurnEvent
+from repro.net.replay import ChurnEvent, RebalanceEvent
 
 
 def _artifact() -> ReproArtifact:
@@ -21,6 +21,7 @@ def _artifact() -> ReproArtifact:
             join_rate=0.01,
             fail_rate=0.01,
             shards=2,
+            partition="adaptive",
             scale_factor=100,
             phase_periods=2,
         ),
@@ -32,6 +33,10 @@ def _artifact() -> ReproArtifact:
         churn=(
             ChurnEvent(when=120.0, kind="join", server="j0", node_id=12345),
             ChurnEvent(when=240.0, kind="fail", server="s17", node_id=None),
+        ),
+        rebalances=(
+            RebalanceEvent(when=300.0, version=1, boundaries=(0, 1024, 4096)),
+            RebalanceEvent(when=600.0, version=2, boundaries=(0, 2048, 4096)),
         ),
         original_events=110,
         minimal_events=4,
@@ -72,6 +77,20 @@ class TestJsonRoundTrip:
         restored = ReproArtifact.from_json(artifact.to_json())
         assert restored.churn is None
 
+    def test_none_rebalances_round_trip(self):
+        artifact = _artifact()
+        artifact.rebalances = None
+        restored = ReproArtifact.from_json(artifact.to_json())
+        assert restored.rebalances is None
+
+    def test_format_one_artifacts_rejected(self):
+        # Format 1 predates the pinned rebalance schedule; replaying one
+        # against a rebalancing build would silently drop that dimension.
+        payload = json.loads(_artifact().to_json())
+        payload["format"] = 1
+        with pytest.raises(ValueError, match="format"):
+            ReproArtifact.from_json(json.dumps(payload))
+
     def test_tie_keys_restored_as_ints(self):
         restored = ReproArtifact.from_json(_artifact().to_json())
         assert all(isinstance(index, int) for index in restored.ties)
@@ -79,15 +98,20 @@ class TestJsonRoundTrip:
 
 
 class TestSchedule:
-    def test_schedule_reflects_ties_and_churn(self):
+    def test_schedule_reflects_ties_churn_and_rebalances(self):
         artifact = _artifact()
         schedule = artifact.schedule()
         assert dict(schedule.ties) == artifact.ties
         assert schedule.churn == artifact.churn
+        assert schedule.rebalances == artifact.rebalances
 
     def test_churn_event_json_round_trip(self):
         event = ChurnEvent(when=12.5, kind="fail", server="s9", node_id=None)
         assert ChurnEvent.from_json(event.to_json()) == event
+
+    def test_rebalance_event_json_round_trip(self):
+        event = RebalanceEvent(when=300.0, version=3, boundaries=(0, 512, 4096))
+        assert RebalanceEvent.from_json(event.to_json()) == event
 
     def test_churn_event_rejects_bad_kind(self):
         with pytest.raises(ValueError):

@@ -63,6 +63,22 @@ class TestEnumeration:
             else:
                 assert case.delivery_seed is None
 
+    def test_sharded_cases_sweep_both_partition_modes(self):
+        plan = FuzzPlan(
+            transports=("async",), shards=(1, 2), seeds=(0,), budget=1000
+        )
+        combos = {(case.shards, case.partition) for case in enumerate_cases(plan)}
+        # A single ring has no boundary to move, so it only runs static.
+        assert combos == {(1, "static"), (2, "static"), (2, "adaptive")}
+
+    def test_adaptive_cases_carry_the_partition_in_their_id(self):
+        plan = FuzzPlan(transports=("async",), shards=(2,), seeds=(0,), budget=1000)
+        adaptive = [
+            case for case in enumerate_cases(plan) if case.partition == "adaptive"
+        ]
+        assert adaptive
+        assert all("adaptive" in case.case_id() for case in adaptive)
+
 
 class TestSeededViolationEndToEnd:
     def test_shrinks_to_witness_set_and_artifact_replays(self, tmp_path):

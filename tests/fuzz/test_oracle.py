@@ -78,6 +78,10 @@ class TestInvariantOracle:
             ({"server_failures": -2}, "metrics:churn"),
             ({"shard_count": 4, "shard_peak_loads": (1.0, 2.0)}, "metrics:shards"),
             ({"cross_shard_imbalance": -1.0}, "metrics:shards"),
+            ({"groups_migrated": -1}, "metrics:partition"),
+            ({"partition_version": -1}, "metrics:partition"),
+            # A single ring has no shard boundary to move a group across.
+            ({"groups_migrated": 3}, "metrics:partition"),
         ],
     )
     def test_metric_sanity_checks(self, small_system, overrides, check):
@@ -85,6 +89,34 @@ class TestInvariantOracle:
         with pytest.raises(OracleViolation) as info:
             oracle.check_sample(small_system, _healthy_sample(**overrides))
         assert info.value.check == check
+
+    def test_sharded_sample_checks_group_shard_locality(self):
+        system = ClashSystem.create(
+            ClashConfig.small_scale(), server_count=8, rng=RandomStream(21), shards=2
+        )
+        oracle = InvariantOracle()
+        sample = _healthy_sample(
+            shard_count=2, shard_peak_loads=(50.0, 40.0), cross_shard_imbalance=1.1
+        )
+        oracle.check_sample(system, sample)
+        # Re-home one group onto the wrong shard behind the routers' backs.
+        router = system.router
+        group = next(iter(system.active_groups()))
+        home = router.shard_of_key(group.virtual_key)
+        stray = next(
+            name
+            for name in sorted(system.server_names())
+            if router.server_shard(name) != home
+        )
+        system._group_owner[group] = stray
+        # check_sample trips on it too, but verify_invariants (which also
+        # polices shard registration) runs first and claims the violation;
+        # the partition cross-check must flag the same corruption on its own.
+        with pytest.raises(OracleViolation) as info:
+            InvariantOracle._check_partition(system)
+        assert info.value.check == "metrics:partition"
+        with pytest.raises(OracleViolation):
+            oracle.check_sample(system, sample)
 
 
 class _FakeSimulator:

@@ -144,16 +144,21 @@ def run_flow(
     scenario: PhasedScenario,
     verify_membership: bool = False,
     shards: int = 1,
+    partition: str = "static",
 ) -> SimulationResult:
     """One flow simulation on the given transport (zero link latency).
 
     ``shards`` routes the run through the ring federation; the default 1
     (the :class:`~repro.dht.router.SingleRingRouter`) is the configuration
-    the golden capture pins.
+    the golden capture pins.  ``partition`` selects the sharded runs' map
+    (naming ``"static"`` explicitly must be indistinguishable from the
+    pre-partition-map default — the golden guard asserts exactly that).
     """
     simulator = FlowSimulator(
         config=scale.config(),
-        params=scale.params(transport=transport_kind, shards=shards),
+        params=scale.params(
+            transport=transport_kind, shards=shards, partition=partition
+        ),
         scenario=scenario,
     )
     simulator.verify_after_membership = verify_membership

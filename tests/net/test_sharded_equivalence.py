@@ -128,6 +128,43 @@ class TestShardedChurnInvariants:
             assert_samples_bit_identical(result, reference)
 
 
+class TestStaticPartitionIsTheGolden:
+    """The partition-map refactor must be invisible when the map is static.
+
+    ``partition="static"`` routes every shard decision through an explicit
+    :class:`~repro.dht.partition.StaticPrefixPartition` instead of the old
+    hard-coded top-bits rule; a sharded run spelt either way must stay
+    bit-identical on every shard-aware transport — with and without churn.
+    """
+
+    @pytest.mark.parametrize("kind", SHARD_KINDS)
+    def test_sharded_flow_bit_identical_to_the_default(self, kind, golden):
+        scale = reference_scale(golden)
+        scenario = scale.scenario()
+        reference = run_flow(kind, scale, scenario, shards=4)
+        result = run_flow(kind, scale, scenario, shards=4, partition="static")
+        assert_samples_bit_identical(result, reference)
+        assert all(s.partition_version == 0 for s in result.metrics.samples)
+        assert all(s.groups_migrated == 0 for s in result.metrics.samples)
+
+    @pytest.mark.parametrize("kind", SHARD_KINDS)
+    def test_sharded_churn_bit_identical_to_the_default(self, kind, golden):
+        scale = reference_scale(golden)
+        scenario = churn_scenario(scale)
+        reference = run_flow(
+            kind, scale, scenario, verify_membership=True, shards=4
+        )
+        result = run_flow(
+            kind,
+            scale,
+            scenario,
+            verify_membership=True,
+            shards=4,
+            partition="static",
+        )
+        assert_samples_bit_identical(result, reference)
+
+
 class TestShardedSystemMechanics:
     """Direct protocol-level checks on a sharded deployment."""
 
