@@ -8,7 +8,7 @@ PYTEST := PYTHONPATH=src python -m pytest
 # coverage grows, never lower it to admit a regression.
 COVERAGE_FLOOR := 90
 
-.PHONY: check lint test coverage bench-smoke bench bench-async bench-sharded bench-check bench-baseline bench-paper bench-paper-baseline profile-paper fuzz-smoke
+.PHONY: check lint test coverage bench-smoke bench bench-async bench-sharded bench-socket bench-check bench-baseline bench-paper bench-paper-baseline profile-paper fuzz-smoke
 
 check: lint test
 
@@ -52,6 +52,13 @@ bench-async:
 # bit-identical to a run without the knob.
 bench-sharded:
 	$(PYTEST) -q benchmarks/bench_sharded.py
+
+# Wall-clock + CPU comparison of the multi-process socket transport against
+# inline/batching on the 4-shard reference workload (asserts bit-identical
+# metrics, worker-side wire work, and — on multi-CPU hosts — >1 aggregate
+# core).
+bench-socket:
+	$(PYTEST) -q -s benchmarks/bench_socket.py
 
 # Regression gate: re-run the reference workloads and fail loudly on any
 # metric drift or a >25% wall-clock regression against BENCH_BASELINE.json.

@@ -1,0 +1,153 @@
+"""Benchmark — the multi-process socket transport against inline and batching.
+
+Runs the 4-shard ``scaled(factor=4)`` reference workload once per transport
+and reports wall-clock plus CPU accounting side by side.  Three properties
+are asserted:
+
+* **Metric equivalence** — the socket run's ``PeriodSample`` stream is
+  bit-identical to inline's (the golden contract its registry entry claims);
+  batching must match too.
+* **Multi-core execution** — the socket run must decode envelopes inside its
+  worker processes and burn measurable CPU time there (``os.times()``
+  children counters); on hosts with more than one CPU the run's aggregate
+  CPU rate (coordinator + workers over wall-clock) must additionally exceed
+  one core — the whole point of taking the message plane out of process.
+* **Bounded overhead** — framing every envelope and crossing a socket costs
+  real time; the socket run must stay within ``SOCKET_OVERHEAD_BUDGET`` ×
+  the inline wall-clock so the IPC cost cannot quietly grow unbounded.
+
+Run via ``make bench-socket`` (or ``pytest -q benchmarks/bench_socket.py``).
+The paper-scale variant of this comparison is recorded in
+docs/PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import ExperimentScale
+from repro.sim.simulator import FlowSimulator, SimulationResult
+
+TRANSPORT_LINEUP = ("inline", "batching", "socket")
+
+SHARDS = 4
+
+SOCKET_OVERHEAD_BUDGET = 6.0
+"""The socket run may cost at most this multiple of inline wall-clock.
+
+Generous on purpose: at benchmark scale the run is dominated by protocol
+traffic, and every request pays a serialize + socket round-trip that inline
+dispatches as a function call.  The budget guards against pathological
+regressions (a stalled worker, quadratic framing), not against the inherent
+IPC cost — which shrinks relative to handler work as scale grows (see
+docs/PERFORMANCE.md for the paper-scale numbers)."""
+
+
+@dataclasses.dataclass
+class _CpuSample:
+    wall: float
+    self_cpu: float
+    workers_cpu: float
+    #: Envelopes decoded inside worker processes (socket runs only) — the
+    #: scheduling-independent proof that the wire plane ran out of process.
+    worker_envelopes: int = 0
+
+    @property
+    def cores(self) -> float:
+        return (self.self_cpu + self.workers_cpu) / self.wall if self.wall else 0.0
+
+
+def _timed_run(
+    transport: str, factor: int = 4, phase_periods: int = 4
+) -> tuple[SimulationResult, _CpuSample]:
+    scale = dataclasses.replace(
+        ExperimentScale.scaled(factor=factor, phase_periods=phase_periods),
+        shards=SHARDS,
+        transport=transport,
+    )
+    simulator = FlowSimulator(
+        config=scale.config(), params=scale.params(), scenario=scale.scenario()
+    )
+    before = os.times()
+    start = time.perf_counter()
+    try:
+        result = simulator.run()
+        wall = time.perf_counter() - start
+        after = os.times()
+        simulator.system.verify_invariants()
+    finally:
+        # run() already closed the transport; idempotent by contract.
+        simulator.transport.close()
+    worker_stats = getattr(simulator.transport, "final_worker_stats", {})
+    sample = _CpuSample(
+        wall=wall,
+        self_cpu=(after.user - before.user) + (after.system - before.system),
+        # Workers' CPU folds into the children counters once close() reaps
+        # them, which run() guarantees happened before `after` was read.
+        workers_cpu=(after.children_user - before.children_user)
+        + (after.children_system - before.children_system),
+        worker_envelopes=sum(
+            counters.get("envelopes_decoded", 0) for counters in worker_stats.values()
+        ),
+    )
+    return result, sample
+
+
+def _assert_streams_identical(result: SimulationResult, reference: SimulationResult) -> None:
+    differences = result.diff(reference)
+    assert not differences, "; ".join(differences)
+
+
+def test_socket_transport_multicore_and_equivalence(benchmark):
+    def run_lineup():
+        return {kind: _timed_run(kind) for kind in TRANSPORT_LINEUP}
+
+    lineup = benchmark.pedantic(run_lineup, rounds=1, iterations=1)
+    inline_result, inline_sample = lineup["inline"]
+    print()
+    print(
+        format_table(
+            ["transport", "wall-clock (s)", "vs inline", "cpu self (s)", "cpu workers (s)", "cores"],
+            [
+                [
+                    kind,
+                    f"{sample.wall:.3f}",
+                    f"{sample.wall / inline_sample.wall:.2f}x",
+                    f"{sample.self_cpu:.3f}",
+                    f"{sample.workers_cpu:.3f}",
+                    f"{sample.cores:.2f}",
+                ]
+                for kind, (result, sample) in lineup.items()
+            ],
+        )
+    )
+    for kind in ("batching", "socket"):
+        _assert_streams_identical(lineup[kind][0], inline_result)
+    socket_sample = lineup["socket"][1]
+    assert socket_sample.worker_envelopes > 0, (
+        "no envelope was decoded inside a worker process — the wire plane "
+        "did not leave the coordinator"
+    )
+    assert socket_sample.workers_cpu > 0.0, (
+        "the socket run burned no CPU in its worker processes — the wire "
+        "plane did not leave the coordinator"
+    )
+    if (os.cpu_count() or 1) > 1:
+        assert socket_sample.cores > 1.0, (
+            f"socket run used {socket_sample.cores:.2f} aggregate cores on a "
+            f"{os.cpu_count()}-CPU host; the multi-process transport must "
+            "exceed a single core"
+        )
+    else:
+        # A single-CPU host cannot exceed one core no matter how parallel
+        # the program is; the worker CPU/decode assertions above are the
+        # multi-process evidence there.
+        print(f"single-CPU host: skipping the >1-core assertion "
+              f"(aggregate {socket_sample.cores:.2f} cores measured)")
+    assert socket_sample.wall <= inline_sample.wall * SOCKET_OVERHEAD_BUDGET, (
+        f"socket transport took {socket_sample.wall:.3f}s vs inline "
+        f"{inline_sample.wall:.3f}s (> {SOCKET_OVERHEAD_BUDGET}x budget)"
+    )

@@ -6,8 +6,10 @@ The protocol layer wraps every exchange in an
 whether delivery is synchronous (:class:`~repro.net.inline.InlineTransport`),
 event-driven with simulated latency (:class:`~repro.net.event.EventTransport`),
 batched per load-check period
-(:class:`~repro.net.batching.BatchingTransport`) or awaitable on an asyncio
-event loop (:class:`~repro.net.asyncio_transport.AsyncTransport`).
+(:class:`~repro.net.batching.BatchingTransport`), awaitable on an asyncio
+event loop (:class:`~repro.net.asyncio_transport.AsyncTransport`) or carried
+to per-shard worker processes over framed sockets
+(:class:`~repro.net.socket_transport.SocketTransport`).
 
 All transports are declared once in the :data:`TRANSPORTS` registry
 (:mod:`repro.net.registry`); the CLI choices, simulator validation and test
@@ -37,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.asyncio_transport import AsyncTransport
     from repro.net.event import EventTransport
     from repro.net.replay import ReplaySchedule, ReplayTransport
+    from repro.net.socket_transport import SocketTransport
     from repro.sim.engine import SimulationEngine
 
 __all__ = [
@@ -50,6 +53,7 @@ __all__ = [
     "EventTransport",
     "BatchingTransport",
     "AsyncTransport",
+    "SocketTransport",
     "ReplayTransport",
     "ReplaySchedule",
     "ChurnEvent",
@@ -82,6 +86,10 @@ def __getattr__(name: str):
         from repro.net.asyncio_transport import AsyncTransport
 
         return AsyncTransport
+    if name == "SocketTransport":
+        from repro.net.socket_transport import SocketTransport
+
+        return SocketTransport
     if name in ("ReplayTransport", "ReplaySchedule", "ChurnEvent", "TieRecorder", "TieTape"):
         from repro.net import replay
 

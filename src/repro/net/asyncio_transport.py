@@ -191,6 +191,7 @@ class AsyncTransport(Transport):
 
     def close(self) -> None:
         """Close the owned event loop (idempotent)."""
+        super().close()
         if self._loop.is_closed():
             return
         pending = [task for task in self._drainers.values() if not task.done()]

@@ -88,13 +88,16 @@ class BatchingTransport(Transport):
         outbox, self._outbox = self._outbox, {}
         self._deferred = 0
         for server in sorted(outbox):
-            if not self.is_bound(server):
-                # The endpoint disappeared (server failure) after its
-                # envelopes were queued; drop them, as a real network would.
-                # Handler errors are not drops and still propagate.
-                self.dropped_messages += len(outbox[server])
-                continue
             for envelope in outbox[server]:
+                # Rechecked per envelope, not once per destination: a handler
+                # can unbind its *own* endpoint mid-batch (failure-triggered
+                # re-root), and the remainder must be dropped and counted, as
+                # a real network would — not crash the run on a bare
+                # TransportError.  Handler errors are not drops and still
+                # propagate.
+                if not self.is_bound(server):
+                    self.dropped_messages += 1
+                    continue
                 self._dispatch(server, envelope)
                 delivered += 1
         if delivered:

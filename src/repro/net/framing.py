@@ -1,0 +1,526 @@
+"""Length-prefixed msgpack framing for the socket transport's wire plane.
+
+Three layers, bottom up:
+
+* **packb / unpackb** — a self-contained implementation of the msgpack
+  serialization format (the subset the protocol needs: nil, bool, int up to
+  64 bits, float64, str, bin, array, map).  The encoder always emits the
+  smallest representation, matching what the reference C packer produces, so
+  the wire format *is* msgpack — when the real :mod:`msgpack` package is
+  installed the test suite cross-validates both directions against it, but
+  nothing at runtime requires the dependency.
+* **encode_value / decode_value** — a registry-driven object codec that maps
+  every protocol record (each :mod:`repro.core.messages` dataclass,
+  :class:`~repro.net.envelope.Envelope` / ``DhtAddress``,
+  :class:`~repro.keys.identifier.IdentifierKey`,
+  :class:`~repro.keys.keygroup.KeyGroup`, stored
+  :class:`~repro.app.query_store.Query` records and the two protocol enums)
+  to a ``[tag, body]`` msgpack array and back.  Key and prefix integers are
+  carried as big-endian byte strings sized from their bit width, so the codec
+  is exact for any configured ``key_bits`` — including widths beyond
+  msgpack's 64-bit integer ceiling.
+* **encode_frame / read_frame** — the frame layer: a 4-byte big-endian
+  length prefix followed by the msgpack payload, rejected above
+  :data:`MAX_FRAME_BYTES`.  ``read_frame`` reads exactly one frame from a
+  blocking socket and raises :class:`FrameError` on truncation (EOF mid
+  frame), oversized declarations, or trailing garbage inside the payload.
+
+The MoaT/distkv server is the idiom source: every message is one
+length-delimited msgpack value, and correctness is enforced at the frame
+boundary rather than deep inside handlers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from typing import Callable
+
+from repro.app.query_store import Query
+from repro.core.messages import (
+    AcceptKeyGroup,
+    AcceptObject,
+    AcceptObjectReply,
+    LoadReport,
+    MessageCategory,
+    ReleaseKeyGroup,
+    ReplyStatus,
+)
+from repro.keys.identifier import IdentifierKey
+from repro.keys.keygroup import KeyGroup
+from repro.net.envelope import DhtAddress, Envelope
+
+__all__ = [
+    "FrameError",
+    "MAX_FRAME_BYTES",
+    "packb",
+    "unpackb",
+    "encode_value",
+    "decode_value",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "write_frame",
+]
+
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+"""Upper bound on one frame's msgpack payload.  A batch of load reports at
+paper scale is a few hundred kilobytes; anything in the megabytes signals a
+corrupted length prefix, and a peer must be able to reject it before
+allocating the buffer."""
+
+_LENGTH_PREFIX = struct.Struct(">I")
+_FLOAT64 = struct.Struct(">d")
+
+
+class FrameError(RuntimeError):
+    """A wire frame could not be encoded or decoded (truncated stream,
+    oversized length prefix, trailing garbage, unknown type tag, or a value
+    outside the supported msgpack subset)."""
+
+
+# --------------------------------------------------------------------- #
+# msgpack subset: packb / unpackb
+# --------------------------------------------------------------------- #
+
+
+def _pack_into(value: object, out: bytearray) -> None:
+    if value is None:
+        out.append(0xC0)
+    elif value is True:
+        out.append(0xC3)
+    elif value is False:
+        out.append(0xC2)
+    elif isinstance(value, int):
+        _pack_int(value, out)
+    elif isinstance(value, float):
+        out.append(0xCB)
+        out += _FLOAT64.pack(value)
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        size = len(data)
+        if size < 32:
+            out.append(0xA0 | size)
+        elif size < 0x100:
+            out += bytes((0xD9, size))
+        elif size < 0x10000:
+            out.append(0xDA)
+            out += size.to_bytes(2, "big")
+        else:
+            out.append(0xDB)
+            out += size.to_bytes(4, "big")
+        out += data
+    elif isinstance(value, (bytes, bytearray)):
+        size = len(value)
+        if size < 0x100:
+            out += bytes((0xC4, size))
+        elif size < 0x10000:
+            out.append(0xC5)
+            out += size.to_bytes(2, "big")
+        else:
+            out.append(0xC6)
+            out += size.to_bytes(4, "big")
+        out += value
+    elif isinstance(value, (list, tuple)):
+        size = len(value)
+        if size < 16:
+            out.append(0x90 | size)
+        elif size < 0x10000:
+            out.append(0xDC)
+            out += size.to_bytes(2, "big")
+        else:
+            out.append(0xDD)
+            out += size.to_bytes(4, "big")
+        for item in value:
+            _pack_into(item, out)
+    elif isinstance(value, dict):
+        size = len(value)
+        if size < 16:
+            out.append(0x80 | size)
+        elif size < 0x10000:
+            out.append(0xDE)
+            out += size.to_bytes(2, "big")
+        else:
+            out.append(0xDF)
+            out += size.to_bytes(4, "big")
+        for key, item in value.items():
+            _pack_into(key, out)
+            _pack_into(item, out)
+    else:
+        raise FrameError(
+            f"cannot pack {type(value).__name__!r}: not in the msgpack subset "
+            "(encode protocol records with encode_value first)"
+        )
+
+
+def _pack_int(value: int, out: bytearray) -> None:
+    if 0 <= value < 0x80:
+        out.append(value)
+    elif -32 <= value < 0:
+        out.append(value & 0xFF)
+    elif 0 <= value < 0x100:
+        out += bytes((0xCC, value))
+    elif 0 <= value < 0x10000:
+        out.append(0xCD)
+        out += value.to_bytes(2, "big")
+    elif 0 <= value < 0x100000000:
+        out.append(0xCE)
+        out += value.to_bytes(4, "big")
+    elif 0 <= value < 0x10000000000000000:
+        out.append(0xCF)
+        out += value.to_bytes(8, "big")
+    elif -0x80 <= value < 0:
+        out.append(0xD0)
+        out += value.to_bytes(1, "big", signed=True)
+    elif -0x8000 <= value < 0:
+        out.append(0xD1)
+        out += value.to_bytes(2, "big", signed=True)
+    elif -0x80000000 <= value < 0:
+        out.append(0xD2)
+        out += value.to_bytes(4, "big", signed=True)
+    elif -0x8000000000000000 <= value < 0:
+        out.append(0xD3)
+        out += value.to_bytes(8, "big", signed=True)
+    else:
+        raise FrameError(
+            f"integer {value} does not fit in 64 bits; wide key material must "
+            "travel as big-endian bytes (see encode_value)"
+        )
+
+
+def packb(value: object) -> bytes:
+    """Serialize ``value`` (msgpack subset) to its canonical msgpack bytes."""
+    out = bytearray()
+    _pack_into(value, out)
+    return bytes(out)
+
+
+class _Unpacker:
+    """Single-buffer msgpack reader with strict bounds checking."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def _take(self, count: int) -> bytes:
+        end = self._pos + count
+        if end > len(self._data):
+            raise FrameError(
+                f"truncated msgpack payload: needed {count} more bytes at "
+                f"offset {self._pos}, have {len(self._data) - self._pos}"
+            )
+        chunk = self._data[self._pos : end]
+        self._pos = end
+        return chunk
+
+    def done(self) -> bool:
+        return self._pos == len(self._data)
+
+    def unpack(self) -> object:
+        marker = self._take(1)[0]
+        if marker < 0x80:  # positive fixint
+            return marker
+        if marker >= 0xE0:  # negative fixint
+            return marker - 0x100
+        if 0x80 <= marker < 0x90:  # fixmap
+            return self._unpack_map(marker & 0x0F)
+        if 0x90 <= marker < 0xA0:  # fixarray
+            return self._unpack_array(marker & 0x0F)
+        if 0xA0 <= marker < 0xC0:  # fixstr
+            return self._unpack_str(marker & 0x1F)
+        if marker == 0xC0:
+            return None
+        if marker == 0xC2:
+            return False
+        if marker == 0xC3:
+            return True
+        if marker == 0xC4:
+            return bytes(self._take(self._take(1)[0]))
+        if marker == 0xC5:
+            return bytes(self._take(int.from_bytes(self._take(2), "big")))
+        if marker == 0xC6:
+            return bytes(self._take(int.from_bytes(self._take(4), "big")))
+        if marker == 0xCB:
+            return _FLOAT64.unpack(self._take(8))[0]
+        if marker == 0xCC:
+            return self._take(1)[0]
+        if marker == 0xCD:
+            return int.from_bytes(self._take(2), "big")
+        if marker == 0xCE:
+            return int.from_bytes(self._take(4), "big")
+        if marker == 0xCF:
+            return int.from_bytes(self._take(8), "big")
+        if marker == 0xD0:
+            return int.from_bytes(self._take(1), "big", signed=True)
+        if marker == 0xD1:
+            return int.from_bytes(self._take(2), "big", signed=True)
+        if marker == 0xD2:
+            return int.from_bytes(self._take(4), "big", signed=True)
+        if marker == 0xD3:
+            return int.from_bytes(self._take(8), "big", signed=True)
+        if marker == 0xD9:
+            return self._unpack_str(self._take(1)[0])
+        if marker == 0xDA:
+            return self._unpack_str(int.from_bytes(self._take(2), "big"))
+        if marker == 0xDB:
+            return self._unpack_str(int.from_bytes(self._take(4), "big"))
+        if marker == 0xDC:
+            return self._unpack_array(int.from_bytes(self._take(2), "big"))
+        if marker == 0xDD:
+            return self._unpack_array(int.from_bytes(self._take(4), "big"))
+        if marker == 0xDE:
+            return self._unpack_map(int.from_bytes(self._take(2), "big"))
+        if marker == 0xDF:
+            return self._unpack_map(int.from_bytes(self._take(4), "big"))
+        raise FrameError(f"unsupported msgpack marker 0x{marker:02x}")
+
+    def _unpack_str(self, size: int) -> str:
+        try:
+            return self._take(size).decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise FrameError(f"invalid utf-8 in msgpack string: {error}") from None
+
+    def _unpack_array(self, size: int) -> list:
+        return [self.unpack() for _ in range(size)]
+
+    def _unpack_map(self, size: int) -> dict:
+        return {self.unpack(): self.unpack() for _ in range(size)}
+
+
+def unpackb(data: bytes) -> object:
+    """Deserialize exactly one msgpack value; trailing bytes are an error."""
+    unpacker = _Unpacker(data)
+    value = unpacker.unpack()
+    if not unpacker.done():
+        raise FrameError(
+            f"trailing garbage after msgpack value: {len(data) - unpacker._pos} "
+            "unread bytes"
+        )
+    return value
+
+
+# --------------------------------------------------------------------- #
+# Typed object codec (registry driven)
+# --------------------------------------------------------------------- #
+
+# Structural tags.  Every encoded value is a [tag, body] pair so containers
+# of protocol records stay unambiguous; the tag numbers are wire format and
+# must never be reused for a different meaning.
+_TAG_SCALAR = 0
+_TAG_LIST = 1
+_TAG_TUPLE = 2
+_TAG_DICT = 3
+
+_SCALARS = (type(None), bool, int, float, str, bytes)
+
+_ENCODERS: dict[type, Callable[[object], list]] = {}
+_DECODERS: dict[int, Callable[[list], object]] = {}
+_TAGS: dict[type, int] = {}
+
+
+def _register(tag: int, cls: type, encode_body, decode_body) -> None:
+    if tag in _DECODERS:  # pragma: no cover - registration-time sanity
+        raise ValueError(f"duplicate codec tag {tag}")
+    _TAGS[cls] = tag
+    _ENCODERS[cls] = encode_body
+    _DECODERS[tag] = decode_body
+
+
+def _register_dataclass(tag: int, cls: type) -> None:
+    """Field-order codec for a message dataclass.
+
+    Encoding walks :func:`dataclasses.fields` so a new field extends the wire
+    format automatically; decoding calls the constructor, which re-runs the
+    dataclass's own ``__post_init__`` validation — a malformed frame fails at
+    the boundary instead of deep inside a handler.
+    """
+    names = [field.name for field in dataclasses.fields(cls)]
+
+    def encode_body(value, names=names):
+        return [encode_value(getattr(value, name)) for name in names]
+
+    def decode_body(body, cls=cls, names=names):
+        if len(body) != len(names):
+            raise FrameError(
+                f"{cls.__name__} frame carries {len(body)} fields, "
+                f"expected {len(names)}"
+            )
+        try:
+            return cls(**{name: decode_value(item) for name, item in zip(names, body)})
+        except (TypeError, ValueError) as error:
+            raise FrameError(f"invalid {cls.__name__} frame: {error}") from None
+
+    _register(tag, cls, encode_body, decode_body)
+
+
+def _register_enum(tag: int, cls: type) -> None:
+    def decode_body(body, cls=cls):
+        try:
+            return cls(body[0])
+        except ValueError as error:
+            raise FrameError(f"invalid {cls.__name__} frame: {error}") from None
+
+    _register(tag, cls, lambda value: [value.value], decode_body)
+
+
+def _encode_wide_int(value: int, width: int) -> bytes:
+    return value.to_bytes((width + 7) // 8, "big")
+
+
+def _decode_key_body(body: list) -> IdentifierKey:
+    value, width = body
+    try:
+        return IdentifierKey(value=int.from_bytes(value, "big"), width=width)
+    except (TypeError, ValueError) as error:
+        raise FrameError(f"invalid IdentifierKey frame: {error}") from None
+
+
+def _decode_group_body(body: list) -> KeyGroup:
+    prefix, depth, width = body
+    try:
+        return KeyGroup(prefix=int.from_bytes(prefix, "big"), depth=depth, width=width)
+    except (TypeError, ValueError) as error:
+        raise FrameError(f"invalid KeyGroup frame: {error}") from None
+
+
+# Identifier keys and key-group prefixes travel as big-endian bytes sized
+# from their bit width: exact for any configured key_bits, immune to
+# msgpack's 64-bit integer ceiling.
+_register(
+    16,
+    IdentifierKey,
+    lambda key: [_encode_wide_int(key.value, key.width), key.width],
+    _decode_key_body,
+)
+_register(
+    17,
+    KeyGroup,
+    lambda group: [_encode_wide_int(group.prefix, group.depth), group.depth, group.width],
+    _decode_group_body,
+)
+_register_enum(18, MessageCategory)
+_register_enum(19, ReplyStatus)
+_register_dataclass(20, AcceptObject)
+_register_dataclass(21, AcceptObjectReply)
+_register_dataclass(22, AcceptKeyGroup)
+_register_dataclass(23, ReleaseKeyGroup)
+_register_dataclass(24, LoadReport)
+_register_dataclass(25, DhtAddress)
+_register_dataclass(26, Envelope)
+_register_dataclass(27, Query)
+
+
+def encode_value(value: object) -> list:
+    """Encode a protocol value to its ``[tag, body]`` wire form."""
+    encoder = _ENCODERS.get(type(value))
+    if encoder is not None:
+        return [_TAGS[type(value)], encoder(value)]
+    if isinstance(value, _SCALARS):
+        return [_TAG_SCALAR, value]
+    if isinstance(value, list):
+        return [_TAG_LIST, [encode_value(item) for item in value]]
+    if isinstance(value, tuple):
+        return [_TAG_TUPLE, [encode_value(item) for item in value]]
+    if isinstance(value, dict):
+        return [
+            _TAG_DICT,
+            [[encode_value(key), encode_value(item)] for key, item in value.items()],
+        ]
+    raise FrameError(
+        f"no codec registered for {type(value).__name__!r}; register it in "
+        "repro.net.framing before putting it on the wire"
+    )
+
+
+def decode_value(encoded: object) -> object:
+    """Invert :func:`encode_value`."""
+    if not isinstance(encoded, list) or len(encoded) != 2:
+        raise FrameError(f"malformed encoded value: {encoded!r}")
+    tag, body = encoded
+    if tag == _TAG_SCALAR:
+        if body is not None and not isinstance(body, _SCALARS):
+            raise FrameError(f"malformed scalar body: {body!r}")
+        return body
+    if tag == _TAG_LIST:
+        return [decode_value(item) for item in body]
+    if tag == _TAG_TUPLE:
+        return tuple(decode_value(item) for item in body)
+    if tag == _TAG_DICT:
+        return {decode_value(key): decode_value(item) for key, item in body}
+    decoder = _DECODERS.get(tag)
+    if decoder is None:
+        raise FrameError(f"unknown codec tag {tag!r}")
+    if not isinstance(body, list):
+        raise FrameError(f"codec tag {tag} carries non-array body: {body!r}")
+    return decoder(body)
+
+
+# --------------------------------------------------------------------- #
+# Frame layer
+# --------------------------------------------------------------------- #
+
+
+def encode_frame(payload: object) -> bytes:
+    """One wire frame: 4-byte big-endian length + msgpack payload."""
+    data = packb(payload)
+    if len(data) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame payload is {len(data)} bytes, above the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return _LENGTH_PREFIX.pack(len(data)) + data
+
+
+def decode_frame(data: bytes) -> object:
+    """Decode the payload of one complete frame (prefix already stripped)."""
+    if len(data) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame payload is {len(data)} bytes, above the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return unpackb(data)
+
+
+def _read_exact(sock, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; ``None`` on clean EOF at a frame edge."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if chunks or remaining != count:
+                raise FrameError(
+                    f"connection closed mid-frame: {count - remaining} of "
+                    f"{count} bytes received"
+                )
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock) -> object | None:
+    """Read one frame from a blocking socket.
+
+    Returns the decoded msgpack payload, or ``None`` when the peer closed the
+    connection cleanly *between* frames.  EOF inside a frame, an oversized
+    length prefix and payload garbage all raise :class:`FrameError`.
+    """
+    prefix = _read_exact(sock, _LENGTH_PREFIX.size)
+    if prefix is None:
+        return None
+    (size,) = _LENGTH_PREFIX.unpack(prefix)
+    if size > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"peer declared a {size}-byte frame, above the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    payload = _read_exact(sock, size)
+    if payload is None:
+        raise FrameError(f"connection closed before the {size}-byte frame body")
+    return unpackb(payload)
+
+
+def write_frame(sock, payload: object) -> None:
+    """Encode and send one frame on a blocking socket."""
+    sock.sendall(encode_frame(payload))

@@ -63,8 +63,8 @@ class TransportSpec:
             (``bind(..., shard=...)`` / ``endpoints(shard=...)``) and may
             carry a sharded deployment.  All in-process transports inherit
             the base :class:`~repro.net.transport.Transport` namespace and
-            are shard-aware; a future socket-backed transport opts out until
-            it can route a shard's endpoints to its worker process, and
+            are shard-aware; the socket transport goes further and routes
+            each shard namespace to its own worker process.
             :class:`~repro.sim.simulator.SimulationParams` refuses
             ``shards > 1`` on a transport that is not shard-aware.
     """
@@ -111,6 +111,14 @@ def _build_replay(
     return ReplayTransport(schedule=schedule, latency=latency)
 
 
+def _build_socket(**_ignored) -> "Transport":
+    # Imported lazily: the transport pulls in multiprocessing and the wire
+    # codec, which only socket runs pay for.
+    from repro.net.socket_transport import SocketTransport
+
+    return SocketTransport()
+
+
 TRANSPORTS: dict[str, TransportSpec] = {
     spec.kind: spec
     for spec in (
@@ -150,6 +158,15 @@ TRANSPORTS: dict[str, TransportSpec] = {
             "(fuzz repro artifacts; FIFO with an empty tape)",
             factory=_build_replay,
             models_time=True,
+        ),
+        TransportSpec(
+            kind="socket",
+            summary="one worker process per shard, length-prefixed msgpack "
+            "frames over inherited socketpairs",
+            factory=_build_socket,
+            # Clock-less like batching: churn drains at period boundaries,
+            # routes coalesce per window with replayed hop charges, so both
+            # equivalence contracts hold bit for bit.
         ),
     )
 }

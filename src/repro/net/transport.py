@@ -111,6 +111,11 @@ class Transport(abc.ABC):
         #: Whether deliveries are recorded into :attr:`delivery_log`
         #: (off by default — recording is opt-in for the fuzzer and tests).
         self.log_deliveries = False
+        #: True once :meth:`close` has run.  The simulator closes its
+        #: transport deterministically at the end of every run; sweep tests
+        #: assert this flag so a leaked event loop or worker process cannot
+        #: ride on garbage-collection timing.
+        self.closed = False
 
     # ------------------------------------------------------------------ #
     # Delivery recording
@@ -262,4 +267,7 @@ class Transport(abc.ABC):
         """Release any resources the transport holds (event loops, sockets).
 
         Most transports hold none; the asyncio transport closes its event
-        loop here.  Safe to call more than once."""
+        loop here and the socket transport shuts down its worker processes.
+        Safe to call more than once.  Subclasses must call ``super().close()``
+        so :attr:`closed` flips for every implementation."""
+        self.closed = True

@@ -1,0 +1,185 @@
+"""The per-shard worker process behind :class:`~repro.net.socket_transport.SocketTransport`.
+
+One worker owns one shard's wire plane.  The coordinator (the process running
+:class:`~repro.core.protocol.ClashSystem`) connects to it over an inherited
+``socket.socketpair()`` and speaks the framed protocol below; the worker
+decodes, validates and acknowledges every envelope addressed to its shard —
+the full serialization cost of the message plane runs on the worker's core,
+concurrently across shards during batch flushes.
+
+Wire protocol (every frame is one length-prefixed msgpack array; see
+:mod:`repro.net.framing`):
+
+====================  ==========================================  =========
+frame                 layout                                      direction
+====================  ==========================================  =========
+HELLO                 ``[0, shard, protocol_version]``            coord → w
+WELCOME               ``[1, pid]``                                w → coord
+BIND                  ``[2, name]`` (one-way)                     coord → w
+UNBIND                ``[3, name]`` (one-way)                     coord → w
+REQ                   ``[4, seq, server, envelope]``              coord → w
+REP                   ``[5, seq, bound]``                         w → coord
+BATCH                 ``[6, seq, server, [envelope, ...]]``       coord → w
+                      (one-way)
+STATS                 ``[7, seq]``                                coord → w
+STATS_REPLY           ``[8, seq, counters]``                      w → coord
+CLOSE                 ``[9]``                                     coord → w
+BYE                   ``[10, counters]``                          w → coord
+ERROR                 ``[11, message]``                           w → coord
+====================  ==========================================  =========
+
+Sequencing follows the MoaT/distkv server idiom: the coordinator stamps
+every sequenced frame (REQ, BATCH, STATS) with a per-connection counter that
+must increase by exactly one, and the worker *asserts* that monotonicity —
+a gap or replay means the stream framing drifted, and the worker reports an
+ERROR frame and exits rather than process a desynchronized stream.
+
+The worker keeps a mirror of its shard's bound endpoints, maintained by the
+one-way BIND/UNBIND control frames the coordinator emits in lockstep with
+its own endpoint table.  A REQ's reply carries the mirror's verdict so the
+coordinator can cross-check both sides of the bound state on every
+request/reply exchange.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.net.framing import FrameError, decode_value, read_frame, write_frame
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MSG_HELLO",
+    "MSG_WELCOME",
+    "MSG_BIND",
+    "MSG_UNBIND",
+    "MSG_REQ",
+    "MSG_REP",
+    "MSG_BATCH",
+    "MSG_STATS",
+    "MSG_STATS_REPLY",
+    "MSG_CLOSE",
+    "MSG_BYE",
+    "MSG_ERROR",
+    "worker_main",
+]
+
+PROTOCOL_VERSION = 1
+
+MSG_HELLO = 0
+MSG_WELCOME = 1
+MSG_BIND = 2
+MSG_UNBIND = 3
+MSG_REQ = 4
+MSG_REP = 5
+MSG_BATCH = 6
+MSG_STATS = 7
+MSG_STATS_REPLY = 8
+MSG_CLOSE = 9
+MSG_BYE = 10
+MSG_ERROR = 11
+
+
+class _ProtocolViolation(RuntimeError):
+    """The coordinator broke the framed protocol (bad seq, unknown frame)."""
+
+
+class _ShardWorker:
+    """State of one worker process: bound-endpoint mirror plus counters."""
+
+    def __init__(self, shard: int) -> None:
+        self.shard = shard
+        self.bound: set[str] = set()
+        self.last_seq = 0
+        self.counters = {
+            "frames_received": 0,
+            "envelopes_decoded": 0,
+            "requests_served": 0,
+            "batches_received": 0,
+            "binds": 0,
+            "unbinds": 0,
+        }
+
+    def check_seq(self, seq: object) -> None:
+        if not isinstance(seq, int) or seq != self.last_seq + 1:
+            raise _ProtocolViolation(
+                f"shard {self.shard} worker expected seq {self.last_seq + 1}, "
+                f"got {seq!r}"
+            )
+        self.last_seq = seq
+
+    def handle(self, frame: object, sock) -> bool:
+        """Process one frame; returns False when the connection should end."""
+        if not isinstance(frame, list) or not frame:
+            raise _ProtocolViolation(f"malformed frame: {frame!r}")
+        kind = frame[0]
+        self.counters["frames_received"] += 1
+        if kind == MSG_BIND:
+            self.bound.add(frame[1])
+            self.counters["binds"] += 1
+        elif kind == MSG_UNBIND:
+            self.bound.discard(frame[1])
+            self.counters["unbinds"] += 1
+        elif kind == MSG_REQ:
+            _, seq, server, encoded = frame
+            self.check_seq(seq)
+            decode_value(encoded)  # full envelope validation on this core
+            self.counters["envelopes_decoded"] += 1
+            self.counters["requests_served"] += 1
+            write_frame(sock, [MSG_REP, seq, server in self.bound])
+        elif kind == MSG_BATCH:
+            _, seq, _server, batch = frame
+            self.check_seq(seq)
+            for encoded in batch:
+                decode_value(encoded)
+            self.counters["envelopes_decoded"] += len(batch)
+            self.counters["batches_received"] += 1
+        elif kind == MSG_STATS:
+            _, seq = frame
+            self.check_seq(seq)
+            write_frame(sock, [MSG_STATS_REPLY, seq, dict(self.counters)])
+        elif kind == MSG_CLOSE:
+            write_frame(sock, [MSG_BYE, dict(self.counters)])
+            return False
+        else:
+            raise _ProtocolViolation(f"unknown frame type {kind!r}")
+        return True
+
+
+def worker_main(sock, shard: int) -> None:
+    """Entry point of the worker process (the ``multiprocessing`` target).
+
+    Blocks on the inherited socket until the coordinator sends CLOSE (clean
+    BYE handshake), the connection drops (clean exit — the coordinator died),
+    or the protocol is violated (ERROR frame, non-zero exit).
+    """
+    worker = _ShardWorker(shard)
+    try:
+        hello = read_frame(sock)
+        if (
+            not isinstance(hello, list)
+            or len(hello) != 3
+            or hello[0] != MSG_HELLO
+            or hello[1] != shard
+            or hello[2] != PROTOCOL_VERSION
+        ):
+            raise _ProtocolViolation(f"bad handshake: {hello!r}")
+        write_frame(sock, [MSG_WELCOME, os.getpid()])
+        while True:
+            frame = read_frame(sock)
+            if frame is None:  # coordinator vanished without CLOSE
+                break
+            if not worker.handle(frame, sock):
+                break
+    except (_ProtocolViolation, FrameError) as error:
+        try:
+            write_frame(sock, [MSG_ERROR, str(error)])
+        except OSError:
+            pass
+        sock.close()
+        raise SystemExit(1)
+    finally:
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass

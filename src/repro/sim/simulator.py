@@ -80,8 +80,10 @@ class SimulationParams:
         transport: Which transport carries protocol messages — one of
             :data:`repro.net.TRANSPORT_KINDS`: ``"inline"`` (synchronous, the
             seed semantics), ``"event"`` (event-kernel delivery with
-            simulated latency), ``"batching"`` (per-period coalescing) or
-            ``"async"`` (asyncio event loop with awaitable handlers).
+            simulated latency), ``"batching"`` (per-period coalescing),
+            ``"async"`` (asyncio event loop with awaitable handlers),
+            ``"replay"`` (recorded delivery schedules) or ``"socket"``
+            (one worker process per shard over msgpack frames).
         link_latency: Base one-way message latency in seconds (transports
             that model time — ``event`` and ``async``; scenario phases may
             override it).
@@ -172,6 +174,14 @@ verify_invariants` after every membership event and at every period
         for name in ("link_latency", "latency_jitter", "per_hop_latency"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative, got {getattr(self, name)}")
+            if getattr(self, name) > 0 and not transport_spec(self.transport).models_time:
+                # An engine-less transport (inline, batching, socket) has no
+                # clock to charge latency against; silently ignoring the knob
+                # would misreport the run's configuration.
+                raise ValueError(
+                    f"{name} requires a time-modelling transport "
+                    f"(transport {self.transport!r} does not model time)"
+                )
         check_power_of_two("shards", self.shards)
         if self.shards > self.server_count:
             raise ValueError(
@@ -969,7 +979,20 @@ class FlowSimulator:
     # ------------------------------------------------------------------ #
 
     def run(self) -> SimulationResult:
-        """Run the full scenario and return the collected metrics."""
+        """Run the full scenario and return the collected metrics.
+
+        The transport is closed deterministically when the run ends —
+        success or failure — so event loops and worker processes never
+        outlive the simulation waiting for garbage collection (callers may
+        still close again; :meth:`~repro.net.transport.Transport.close` is
+        idempotent).
+        """
+        try:
+            return self._run_scenario()
+        finally:
+            self._transport.close()
+
+    def _run_scenario(self) -> SimulationResult:
         period = self._config.load_check_period
         duration = self._scenario.total_duration
         self._install_forced_churn()

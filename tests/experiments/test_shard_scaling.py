@@ -44,6 +44,23 @@ class TestSweep:
             (4, "adaptive", 0.01, 0.02),
         ]
 
+    def test_every_sweep_point_closes_its_transport(self, monkeypatch):
+        """The lifecycle contract: no transport outlives its sweep point."""
+        import repro.experiments.shard_scaling as shard_scaling
+
+        simulators = []
+        original = shard_scaling.FlowSimulator
+
+        def tracking(*args, **kwargs):
+            simulator = original(*args, **kwargs)
+            simulators.append(simulator)
+            return simulator
+
+        monkeypatch.setattr(shard_scaling, "FlowSimulator", tracking)
+        run_shard_scaling(TINY, shard_counts=(1, 2), churn_rates=((0.0, 0.0),))
+        assert len(simulators) == 3
+        assert all(simulator.transport.closed for simulator in simulators)
+
     def test_baseline_is_the_unsharded_churn_free_control(self, sweep):
         control = sweep.baseline()
         assert control.shards == 1

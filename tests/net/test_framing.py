@@ -1,0 +1,313 @@
+"""Property tests for the socket transport's wire codec (repro.net.framing).
+
+Round-trip properties cover every registered protocol record — each
+``repro.core.messages`` dataclass, identifier keys and key groups at
+arbitrary widths (including beyond msgpack's 64-bit integer ceiling), stored
+query records and full envelopes with attachments — plus the frame layer's
+rejection of truncated, oversized and trailing-garbage input.  When the real
+:mod:`msgpack` package is installed, the pure-python packer is additionally
+cross-validated against it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.app.query_store import Query
+from repro.core.messages import (
+    AcceptKeyGroup,
+    AcceptObject,
+    AcceptObjectReply,
+    LoadReport,
+    MessageCategory,
+    ReleaseKeyGroup,
+    ReplyStatus,
+)
+from repro.keys.identifier import IdentifierKey
+from repro.keys.keygroup import KeyGroup
+from repro.net.envelope import DhtAddress, Envelope
+from repro.net.framing import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    decode_frame,
+    decode_value,
+    encode_frame,
+    encode_value,
+    packb,
+    unpackb,
+)
+
+try:
+    import msgpack as real_msgpack
+except ImportError:  # pragma: no cover - optional cross-validation only
+    real_msgpack = None
+
+# --------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------- #
+
+names = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=12
+)
+
+# Key widths sweep past 64 bits on purpose: wide key material travels as
+# big-endian bytes, so the codec must stay exact where msgpack ints cannot.
+key_widths = st.integers(min_value=1, max_value=192)
+
+
+@st.composite
+def identifier_keys(draw) -> IdentifierKey:
+    width = draw(key_widths)
+    value = draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    return IdentifierKey(value=value, width=width)
+
+
+@st.composite
+def key_groups(draw) -> KeyGroup:
+    width = draw(key_widths)
+    depth = draw(st.integers(min_value=0, max_value=width))
+    prefix = draw(st.integers(min_value=0, max_value=(1 << depth) - 1 if depth else 0))
+    return KeyGroup(prefix=prefix, depth=depth, width=width)
+
+
+finite_floats = st.floats(allow_nan=False, width=64)
+
+queries = st.builds(
+    Query,
+    query_id=st.integers(min_value=0, max_value=2**63 - 1),
+    key=identifier_keys(),
+    client=names,
+    expires_at=st.one_of(st.just(math.inf), finite_floats),
+)
+
+
+@st.composite
+def accept_object_replies(draw) -> AcceptObjectReply:
+    status = draw(st.sampled_from(list(ReplyStatus)))
+    depth = draw(st.integers(min_value=0, max_value=64))
+    if status is ReplyStatus.INCORRECT_DEPTH:
+        return AcceptObjectReply(
+            status=status, server=draw(names), longest_prefix_match=depth
+        )
+    return AcceptObjectReply(status=status, server=draw(names), correct_depth=depth)
+
+
+payloads = st.one_of(
+    st.builds(
+        AcceptObject,
+        key=identifier_keys(),
+        estimated_depth=st.integers(min_value=0, max_value=64),
+        sender=names,
+    ),
+    accept_object_replies(),
+    st.builds(
+        AcceptKeyGroup,
+        group=key_groups(),
+        parent_server=st.one_of(st.none(), names),
+        migrated_queries=st.integers(min_value=0, max_value=10_000),
+    ),
+    st.builds(
+        ReleaseKeyGroup,
+        group=key_groups(),
+        child_server=names,
+        migrated_queries=st.integers(min_value=0, max_value=10_000),
+    ),
+    st.builds(LoadReport, group=key_groups(), child_server=names, load=finite_floats),
+)
+
+envelopes = st.builds(
+    Envelope,
+    source=names,
+    destination=st.one_of(names, st.builds(DhtAddress, virtual_key=identifier_keys())),
+    payload=payloads,
+    category=st.one_of(st.none(), st.sampled_from(list(MessageCategory))),
+    attachment=st.one_of(st.none(), st.lists(queries, max_size=5)),
+)
+
+msgpack_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**64 - 1),
+    finite_floats,
+    st.text(max_size=64),
+    st.binary(max_size=64),
+)
+
+
+# --------------------------------------------------------------------- #
+# Round trips
+# --------------------------------------------------------------------- #
+
+
+class TestMsgpackSubset:
+    @given(msgpack_scalars)
+    def test_scalar_round_trip(self, value):
+        assert unpackb(packb(value)) == value
+
+    @given(st.recursive(msgpack_scalars, lambda inner: st.lists(inner, max_size=4), max_leaves=20))
+    def test_nested_array_round_trip(self, value):
+        assert unpackb(packb(value)) == value
+
+    @given(st.dictionaries(st.text(max_size=8), msgpack_scalars, max_size=8))
+    def test_map_round_trip(self, value):
+        assert unpackb(packb(value)) == value
+
+    def test_int_boundaries_round_trip(self):
+        for value in (
+            0, 127, 128, 255, 256, 65535, 65536, 2**32 - 1, 2**32, 2**63 - 1,
+            2**63, 2**64 - 1, -1, -32, -33, -128, -129, -32768, -32769,
+            -(2**31), -(2**31) - 1, -(2**63),
+        ):
+            assert unpackb(packb(value)) == value
+
+    def test_ints_beyond_64_bits_rejected(self):
+        with pytest.raises(FrameError):
+            packb(2**64)
+        with pytest.raises(FrameError):
+            packb(-(2**63) - 1)
+
+    def test_non_finite_floats_round_trip(self):
+        assert unpackb(packb(math.inf)) == math.inf
+        assert unpackb(packb(-math.inf)) == -math.inf
+        assert math.isnan(unpackb(packb(math.nan)))
+
+    @pytest.mark.skipif(real_msgpack is None, reason="msgpack not installed")
+    @given(st.recursive(msgpack_scalars, lambda inner: st.lists(inner, max_size=4), max_leaves=20))
+    def test_cross_validated_against_real_msgpack(self, value):  # pragma: no cover
+        assert real_msgpack.unpackb(packb(value), strict_map_key=False) == value
+        assert unpackb(real_msgpack.packb(value, use_bin_type=True)) == value
+
+
+class TestProtocolCodec:
+    @given(identifier_keys())
+    def test_key_round_trip(self, key):
+        assert decode_value(encode_value(key)) == key
+
+    @given(key_groups())
+    def test_group_round_trip(self, group):
+        assert decode_value(encode_value(group)) == group
+
+    @given(queries)
+    def test_query_round_trip(self, query):
+        assert decode_value(encode_value(query)) == query
+
+    @given(payloads)
+    def test_every_message_type_round_trips(self, payload):
+        assert decode_value(encode_value(payload)) == payload
+
+    @settings(max_examples=50)
+    @given(envelopes)
+    def test_envelope_round_trip_through_a_frame(self, envelope):
+        frame = encode_frame(encode_value(envelope))
+        size = int.from_bytes(frame[:4], "big")
+        assert size == len(frame) - 4
+        decoded = decode_frame(frame[4:])
+        assert decode_value(decoded) == envelope
+
+    @given(st.sampled_from(list(MessageCategory)), st.sampled_from(list(ReplyStatus)))
+    def test_enum_round_trip(self, category, status):
+        assert decode_value(encode_value(category)) is category
+        assert decode_value(encode_value(status)) is status
+
+    def test_unregistered_type_rejected(self):
+        class Surprise:
+            pass
+
+        with pytest.raises(FrameError):
+            encode_value(Surprise())
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(FrameError):
+            decode_value([999, []])
+
+    def test_malformed_dataclass_body_rejected(self):
+        # An INCORRECT_DEPTH reply without longest_prefix_match fails the
+        # dataclass's own __post_init__ validation at the frame boundary.
+        bad = encode_value(
+            AcceptObjectReply(
+                status=ReplyStatus.INCORRECT_DEPTH, server="s", longest_prefix_match=3
+            )
+        )
+        bad[1][3] = encode_value(None)  # strip longest_prefix_match
+        with pytest.raises(FrameError):
+            decode_value(bad)
+
+    def test_wrong_field_count_rejected(self):
+        encoded = encode_value(DhtAddress(virtual_key=IdentifierKey(1, 8)))
+        encoded[1].append(encode_value("extra"))
+        with pytest.raises(FrameError):
+            decode_value(encoded)
+
+
+class TestFrameLayer:
+    @given(envelopes)
+    @settings(max_examples=25)
+    def test_truncated_frames_rejected(self, envelope):
+        frame = encode_frame(encode_value(envelope))
+        payload = frame[4:]
+        for cut in (1, len(payload) // 2, len(payload) - 1):
+            if 0 < cut < len(payload):
+                with pytest.raises(FrameError):
+                    unpackb(payload[:cut])
+
+    def test_trailing_garbage_rejected(self):
+        payload = packb([1, "x"])
+        with pytest.raises(FrameError):
+            unpackb(payload + b"\x00")
+
+    def test_oversized_frame_rejected_on_encode(self):
+        with pytest.raises(FrameError):
+            encode_frame(b"\x00" * (MAX_FRAME_BYTES + 1))
+
+    def test_oversized_frame_rejected_on_decode(self):
+        with pytest.raises(FrameError):
+            decode_frame(b"\x00" * (MAX_FRAME_BYTES + 1))
+
+    def test_oversized_length_prefix_rejected_before_allocation(self):
+        # A peer declaring a multi-gigabyte frame must be rejected from the
+        # 4-byte prefix alone, without buffering the body.
+        import socket
+
+        from repro.net.framing import read_frame
+
+        left, right = socket.socketpair()
+        try:
+            left.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+            with pytest.raises(FrameError):
+                read_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_eof_mid_frame_rejected(self):
+        import socket
+
+        from repro.net.framing import read_frame
+
+        left, right = socket.socketpair()
+        try:
+            frame = encode_frame(encode_value(IdentifierKey(5, 24)))
+            left.sendall(frame[:-2])
+            left.close()
+            with pytest.raises(FrameError):
+                read_frame(right)
+        finally:
+            right.close()
+
+    def test_clean_eof_between_frames_returns_none(self):
+        import socket
+
+        from repro.net.framing import read_frame
+
+        left, right = socket.socketpair()
+        try:
+            left.sendall(encode_frame([1, 2]))
+            left.close()
+            assert read_frame(right) == [1, 2]
+            assert read_frame(right) is None
+        finally:
+            right.close()

@@ -322,6 +322,46 @@ class TestBatchingTransport:
         assert transport.flush() == 1
         assert transport.batches_flushed == 1
 
+    def test_handler_unbinding_own_endpoint_mid_batch_drops_remainder(self):
+        """Regression: the bound check must run per envelope, not once per
+        destination.  A handler that unbinds its *own* endpoint while its
+        batch is draining (failure-triggered re-root) used to let the next
+        envelope reach ``_dispatch`` and abort the run with a bare
+        ``TransportError``; the remainder must be dropped and counted."""
+        transport = BatchingTransport()
+        received = []
+
+        def self_unbinding(envelope):
+            received.append(envelope.payload)
+            transport.unbind("srv")
+
+        transport.bind("srv", self_unbinding)
+        transport.bind("other", _Recorder())
+        for payload in (1, 2, 3):
+            transport.post(Envelope(source="cli", destination="srv", payload=payload))
+        transport.post(Envelope(source="cli", destination="other", payload=4))
+        assert transport.flush() == 2  # the first srv envelope + other's
+        assert received == [1]
+        assert transport.dropped_messages == 2
+
+    def test_rebind_mid_batch_resumes_delivery(self):
+        """The per-envelope recheck also means a handler that unbinds and
+        then *rebinds* its endpoint (recovery) sees delivery resume."""
+        transport = BatchingTransport()
+        received = []
+
+        def flapping(envelope):
+            received.append(envelope.payload)
+            transport.unbind("srv")
+            transport.bind("srv", flapping)
+
+        transport.bind("srv", flapping)
+        for payload in (1, 2, 3):
+            transport.post(Envelope(source="cli", destination="srv", payload=payload))
+        assert transport.flush() == 3
+        assert received == [1, 2, 3]
+        assert transport.dropped_messages == 0
+
 
 class TestBuildTransport:
     def test_kinds(self):
@@ -335,7 +375,14 @@ class TestBuildTransport:
     def test_registry_is_the_single_source_of_truth(self):
         """Every enumeration derives from net.TRANSPORTS."""
         assert TRANSPORT_KINDS == tuple(TRANSPORTS)
-        assert set(TRANSPORT_KINDS) == {"inline", "event", "batching", "async", "replay"}
+        assert set(TRANSPORT_KINDS) == {
+            "inline",
+            "event",
+            "batching",
+            "async",
+            "replay",
+            "socket",
+        }
         for kind, spec in TRANSPORTS.items():
             assert spec.kind == kind
             assert transport_spec(kind) is spec
@@ -351,6 +398,13 @@ class TestBuildTransport:
         assert not TRANSPORTS["event"].churn_equivalence
         assert TRANSPORTS["event"].needs_engine
         assert not TRANSPORTS["async"].needs_engine
+        # The socket transport is clock-less like batching: both equivalence
+        # contracts hold, and it is the shard-aware multi-process carrier.
+        assert TRANSPORTS["socket"].exact_equivalence
+        assert TRANSPORTS["socket"].churn_equivalence
+        assert TRANSPORTS["socket"].shard_aware
+        assert not TRANSPORTS["socket"].models_time
+        assert not TRANSPORTS["socket"].needs_engine
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError):

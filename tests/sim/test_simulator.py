@@ -129,6 +129,25 @@ class TestClashRuns:
         assert result.total_merges > 0
 
 
+class TestTransportLifecycle:
+    def test_run_closes_the_transport(self):
+        simulator = FlowSimulator(tiny_config(), tiny_params(), short_scenario(periods=1))
+        assert not simulator.transport.closed
+        simulator.run()
+        assert simulator.transport.closed
+
+    def test_run_closes_the_transport_when_the_scenario_raises(self, monkeypatch):
+        simulator = FlowSimulator(tiny_config(), tiny_params(), short_scenario(periods=1))
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("mid-run failure")
+
+        monkeypatch.setattr(simulator, "_assign_loads", explode)
+        with pytest.raises(RuntimeError, match="mid-run failure"):
+            simulator.run()
+        assert simulator.transport.closed
+
+
 class TestFixedDepthRuns:
     def test_fixed_depth_never_splits(self):
         simulator = FlowSimulator(

@@ -28,6 +28,10 @@ def _import_from_path(path: pathlib.Path):
     name = f"benchmarks.{path.stem}"
     spec = importlib.util.spec_from_file_location(name, path)
     module = importlib.util.module_from_spec(spec)
+    # Register before executing (the documented importlib recipe): dataclass
+    # decorators resolve string annotations through sys.modules[__module__],
+    # which is None for an unregistered module.
+    sys.modules[name] = module
     spec.loader.exec_module(module)
     return module
 
@@ -65,6 +69,26 @@ def test_tiny_sharded_benchmark_config_executes():
         s.cross_shard_imbalance >= 1.0 or s.cross_shard_imbalance == 0.0
         for s in sharded_result.metrics.samples
     )
+
+
+@pytest.mark.bench_smoke
+def test_tiny_socket_benchmark_config_executes():
+    """One miniature multi-process run of the bench_socket workload.
+
+    Asserts the two portable halves of the benchmark's contract — the
+    socket stream is bit-identical to inline and the wire plane really ran
+    inside worker processes — plus clean worker teardown, so CI can never
+    hang on a leaked child process.
+    """
+    import multiprocessing
+
+    bench = _import_from_path(BENCH_DIR / "bench_socket.py")
+
+    inline_result, _ = bench._timed_run("inline", factor=50, phase_periods=2)
+    socket_result, socket_sample = bench._timed_run("socket", factor=50, phase_periods=2)
+    bench._assert_streams_identical(socket_result, inline_result)
+    assert socket_sample.worker_envelopes > 0
+    assert multiprocessing.active_children() == []
 
 
 @pytest.mark.bench_smoke
