@@ -83,17 +83,20 @@ bench-paper-baseline:
 	PYTHONPATH=src python benchmarks/bench_paper_scale.py --update
 
 # Hot-path table for the churn-heavy paper-scale run (cProfile top-25).
+# PROFILE_FLAGS passes extra switches through, e.g.
+#   make profile-paper PROFILE_FLAGS="--sort tottime --profile-output /tmp/churn.pstats"
 profile-paper:
-	PYTHONPATH=src python benchmarks/bench_paper_scale.py --profile
+	PYTHONPATH=src python benchmarks/bench_paper_scale.py --profile $(PROFILE_FLAGS)
 
 # Adversarial schedule fuzz smoke: a fixed-seed, small-budget sweep of
 # delivery orders and churn timings over the async transport (single ring,
-# 4 static shards and 4 adaptively partitioned shards — 3 cases per seed),
-# with the invariant oracle at every quiescent point.  The run is
-# deterministic; it must find zero violations (exit 1 otherwise).
-# See docs/FUZZING.md.
+# 4 static shards and 4 adaptively partitioned shards), each structural
+# variant run with both the incremental work-queue balance pass and the
+# reference probe-everyone scan (--fuzz-full-scan), with the invariant
+# oracle at every quiescent point.  The run is deterministic; it must find
+# zero violations (exit 1 otherwise).  See docs/FUZZING.md.
 fuzz-smoke:
 	PYTHONPATH=src python -m repro fuzz --scale-factor 100 --phase-periods 2 \
-		--fuzz-budget 6 --fuzz-seeds 0:2 --fuzz-transports async \
-		--fuzz-shards 1,4 --join-rate 0.01 --fail-rate 0.01 \
+		--fuzz-budget 12 --fuzz-seeds 0:2 --fuzz-transports async \
+		--fuzz-shards 1,4 --join-rate 0.01 --fail-rate 0.01 --fuzz-full-scan \
 		--verify-invariants --quiet --output-dir /tmp/fuzz-smoke

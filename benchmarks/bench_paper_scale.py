@@ -111,8 +111,16 @@ BENCHMARKS: dict[str, Callable[[], dict[str, object]]] = {
 }
 
 
-def profile_churn_run(top: int = 25) -> str:
-    """One churn-heavy paper-scale run under cProfile, as a top-N table."""
+def profile_churn_run(
+    top: int = 25,
+    sort: str = "cumtime",
+    output: pathlib.Path | None = None,
+) -> str:
+    """One churn-heavy paper-scale run under cProfile, as a top-N table.
+
+    ``output`` additionally dumps the raw pstats data for offline analysis
+    (``python -m pstats PATH``, snakeviz, flameprof, ...).
+    """
     import cProfile
     import pstats
 
@@ -124,7 +132,38 @@ def profile_churn_run(top: int = 25) -> str:
         _run(_paper_scale(churn=True))
     finally:
         profiler.disable()
-    return render_profile(pstats.Stats(profiler), top=top)
+    stats = pstats.Stats(profiler)
+    if output is not None:
+        stats.dump_stats(str(output))
+    return render_profile(stats, top=top, sort=sort)
+
+
+LOAD_CHECK_PROBE_CEILING = 600_000
+"""Hard ceiling on the churn run's ``load_check_probes`` counter, asserted by
+``--check`` on top of the exact-drift gate.  The full-scan pass probed every
+server every iteration (~2.9M probes at paper scale under churn); the
+dirty-driven work queues need well under this many.  A change that quietly
+reverts the balance pass to probe-everyone trips this even if it also
+re-records the baseline counters."""
+
+
+def _check_probe_ceiling(path: pathlib.Path) -> int:
+    """Assert the committed churn baseline's probe counter is under the ceiling."""
+    import json
+
+    data = json.loads(path.read_text())
+    probes = data["benchmarks"]["paper_scale_churn"]["metrics"].get("load_check_probes")
+    if probes is None:
+        print("paper-scale: FAIL churn baseline records no load_check_probes counter")
+        return 1
+    if probes > LOAD_CHECK_PROBE_CEILING:
+        print(
+            f"paper-scale: FAIL load_check_probes {probes} exceeds the "
+            f"committed ceiling {LOAD_CHECK_PROBE_CEILING} (balance pass "
+            "regressed toward probe-everyone)"
+        )
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -140,21 +179,39 @@ def main(argv: list[str] | None = None) -> int:
         default=25,
         help="rows in the --profile table (default: 25)",
     )
+    parser.add_argument(
+        "--sort",
+        choices=("cumtime", "tottime"),
+        default="cumtime",
+        help="ranking column of the --profile table (default: cumtime)",
+    )
+    parser.add_argument(
+        "--profile-output",
+        type=pathlib.Path,
+        default=None,
+        help="also dump the raw cProfile stats to PATH (pstats format)",
+    )
     args = parser.parse_args(argv)
     if args.profile:
-        print(profile_churn_run(top=args.profile_top))
+        print(
+            profile_churn_run(
+                top=args.profile_top, sort=args.sort, output=args.profile_output
+            )
+        )
         return 0
     if not (args.check or args.update):
         parser.error("one of --check, --update or --profile is required")
     if args.update:
         return update(args.baseline, BENCHMARKS, ROUNDS, tag="paper-scale")
-    return check(
+    status = check(
         args.baseline,
         skip_wallclock=args.skip_wallclock,
         benchmarks=BENCHMARKS,
         rounds=ROUNDS,
         tag="paper-scale",
     )
+    ceiling_status = _check_probe_ceiling(args.baseline)
+    return status or ceiling_status
 
 
 if __name__ == "__main__":

@@ -49,6 +49,16 @@ class QueryStore:
         #: server's cached per-group loads stay valid exactly as long as the
         #: store (and the other load inputs) have not changed.
         self.version = 0
+        #: Optional zero-argument callback fired on every mutation.  The
+        #: owning server hooks this (like ``ServerTable.on_change``) so load
+        #: staleness is pushed at mutation time instead of being re-derived
+        #: from the version counters on every read.
+        self.on_change = None
+
+    def _bump(self) -> None:
+        self.version += 1
+        if self.on_change is not None:
+            self.on_change()
 
     def __len__(self) -> int:
         return len(self._queries)
@@ -61,7 +71,7 @@ class QueryStore:
         if query.query_id in self._queries:
             raise ValueError(f"query id {query.query_id} is already registered")
         self._queries[query.query_id] = query
-        self.version += 1
+        self._bump()
 
     def add_all(self, queries: list[Query]) -> None:
         """Register several queries."""
@@ -72,7 +82,7 @@ class QueryStore:
         """Deregister and return a query."""
         if query_id not in self._queries:
             raise KeyError(f"no query with id {query_id}")
-        self.version += 1
+        self._bump()
         return self._queries.pop(query_id)
 
     def queries(self) -> list[Query]:
@@ -95,7 +105,7 @@ class QueryStore:
         for query in moving:
             del self._queries[query.query_id]
         if moving:
-            self.version += 1
+            self._bump()
         return moving
 
     def expire(self, now: float) -> list[Query]:
@@ -104,5 +114,5 @@ class QueryStore:
         for query in expired:
             del self._queries[query.query_id]
         if expired:
-            self.version += 1
+            self._bump()
         return expired

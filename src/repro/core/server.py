@@ -101,12 +101,19 @@ class ClashServer:
         # dict hit and is recomputed — in exactly the order the uncached code
         # used, so the floats are bit-identical — only after one of the three
         # load inputs (rates/overrides, the table, the query store) changed.
-        self._rates_version = 0
-        self._loads_stamp = -1
+        # Staleness is *pushed* at mutation time (rate setters call
+        # _mark_loads_dirty directly; the table and query store fire their
+        # on_change hooks), so the read path is a single bool test instead of
+        # re-summing three version counters per call — _current_loads runs
+        # millions of times per paper-scale run.
+        self._loads_dirty = True
+        self._loads_epoch = 0
         self._loads_cache: dict[KeyGroup, GroupLoad] = {}
         self._total_load_cache = 0.0
-        self._reports_stamp = -1
+        self._reports_epoch = -1
         self._reports_cache: list[tuple[str, LoadReport]] = []
+        self._table.on_change = self._mark_loads_dirty
+        self._queries.on_change = self._mark_loads_dirty
         # Load-change listener (overload-set tracking).  The owning
         # ClashSystem installs a callback here; every mutation of a load
         # input -- measured rates / query overrides, the table's active
@@ -229,8 +236,12 @@ class ClashServer:
 
     def _touch_rates(self) -> None:
         """Invalidate the load cache after a rate/override mutation."""
-        self._rates_version += 1
+        self._loads_dirty = True
         self._notify_load_changed()
+
+    def _mark_loads_dirty(self) -> None:
+        """Table / query-store mutation hook: the load cache is stale."""
+        self._loads_dirty = True
 
     def _current_loads(self) -> dict[KeyGroup, GroupLoad]:
         """The cached per-group loads, recomputed only after a mutation.
@@ -238,10 +249,7 @@ class ClashServer:
         Internal callers iterate this dict directly and must not mutate it;
         :meth:`group_loads` hands out a copy.
         """
-        # The three inputs' counters are each monotonic, so their sum strictly
-        # increases on every mutation — one int comparison detects staleness.
-        stamp = self._rates_version + self._table.version + self._queries.version
-        if self._loads_stamp != stamp:
+        if self._loads_dirty:
             loads: dict[KeyGroup, GroupLoad] = {}
             for group in self._table.active_groups():
                 rate = self._group_rates.get(group, 0.0)
@@ -255,7 +263,8 @@ class ClashServer:
                 )
             self._loads_cache = loads
             self._total_load_cache = sum(entry.load for entry in loads.values())
-            self._loads_stamp = stamp
+            self._loads_dirty = False
+            self._loads_epoch += 1
         return self._loads_cache
 
     def group_loads(self) -> dict[KeyGroup, GroupLoad]:
@@ -451,12 +460,12 @@ class ClashServer:
     def addressed_load_reports(self) -> list[tuple[str, LoadReport]]:
         """``(parent server, report)`` pairs for every reportable leaf group.
 
-        The pairs are cached against the load stamp: while nothing changed
+        The pairs are cached against the load epoch: while nothing changed
         since the last check, the identical frozen report objects are
         re-delivered without being rebuilt.
         """
         loads = self._current_loads()
-        if self._reports_stamp == self._loads_stamp:
+        if self._reports_epoch == self._loads_epoch:
             return self._reports_cache
         reports: list[tuple[str, LoadReport]] = []
         for group, info in loads.items():
@@ -467,12 +476,23 @@ class ClashServer:
                 (parent_id, LoadReport(group=group, child_server=self._name, load=info.load))
             )
         self._reports_cache = reports
-        self._reports_stamp = self._loads_stamp
+        self._reports_epoch = self._loads_epoch
         return reports
 
     def receive_load_report(self, report: LoadReport) -> None:
         """Record a child's load report for the current interval."""
         self._child_reports[report.group] = report
+
+    def discard_child_report(self, group: KeyGroup) -> None:
+        """Forget the child load report recorded for ``group`` (if any).
+
+        The report-diff exchange uses this to retract a report that a
+        re-delivering child no longer addresses here — the state a
+        period-boundary :meth:`clear_child_reports` would have wiped.  Like
+        report delivery, it does not notify the load listener: child reports
+        are consolidation inputs, not load inputs.
+        """
+        self._child_reports.pop(group, None)
 
     def consolidation_candidates(self) -> list[KeyGroup]:
         """Inactive parent groups whose two children are currently both cold.

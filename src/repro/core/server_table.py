@@ -98,6 +98,12 @@ class ServerTable:
         #: bypass the counter, which is why all active-ness changes go
         #: through :meth:`record_split` / :meth:`record_consolidation`.
         self.version = 0
+        #: Optional zero-argument callback fired on every mutation (i.e. every
+        #: ``version`` bump).  The owning server hooks this to flag its load
+        #: cache dirty the moment the table changes, instead of re-deriving
+        #: staleness from the version counters on every read — the read path
+        #: is orders of magnitude hotter than the mutation path.
+        self.on_change = None
         self._active_cache: list[KeyGroup] | None = None
         self._sorted_cache: list[KeyGroup] | None = None
         self._active_count = 0
@@ -106,6 +112,8 @@ class ServerTable:
         self.version += 1
         self._active_cache = None
         self._sorted_cache = None
+        if self.on_change is not None:
+            self.on_change()
 
     # ------------------------------------------------------------------ #
     # Basic access

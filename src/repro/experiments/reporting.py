@@ -150,12 +150,16 @@ def render_figure4(result: "Figure4Result") -> str:
     return "\n".join(lines)
 
 
-def render_profile(stats, top: int = 25) -> str:
-    """Render a ``pstats.Stats`` object as a top-N cumulative-time table.
+def render_profile(stats, top: int = 25, sort: str = "cumtime") -> str:
+    """Render a ``pstats.Stats`` object as a top-N profile table.
 
     Used by the CLI's ``--profile`` flag so perf PRs can show a before/after
-    profile without leaving the text-report toolchain.
+    profile without leaving the text-report toolchain.  ``sort`` picks the
+    ranking column: ``"cumtime"`` (default) surfaces the call-tree owners,
+    ``"tottime"`` the functions burning time in their own frames.
     """
+    if sort not in ("cumtime", "tottime"):
+        raise ValueError(f"sort must be 'cumtime' or 'tottime', got {sort!r}")
     rows = []
     for (filename, lineno, function), (
         _primitive_calls,
@@ -166,7 +170,10 @@ def render_profile(stats, top: int = 25) -> str:
     ) in stats.stats.items():
         location = f"{filename}:{lineno}({function})" if lineno else function
         rows.append((cumulative_time, total_time, call_count, location))
-    rows.sort(key=lambda row: (-row[0], row[3]))
+    if sort == "tottime":
+        rows.sort(key=lambda row: (-row[1], row[3]))
+    else:
+        rows.sort(key=lambda row: (-row[0], row[3]))
     table_rows = [
         [call_count, f"{total_time:.4f}", f"{cumulative_time:.4f}", location]
         for cumulative_time, total_time, call_count, location in rows[:top]

@@ -31,6 +31,17 @@ from repro.util.validation import check_positive, check_type
 
 __all__ = ["KeyGroup", "first_overlapping_pair"]
 
+#: Memo of ``KeyGroup.split()`` results keyed by the parent's identity.
+#: ``split()`` is called for the same few thousand distinct parents hundreds
+#: of times each during a balance-heavy run (the splitting algebra revisits
+#: the same tree edges over and over), and every uncached call re-validates
+#: two frozen children through ``__post_init__``.  KeyGroup is immutable and
+#: value-equal, so the cached child pair can be shared freely.  The cache is
+#: bounded; overflowing it (distinct parents, not call volume) clears it —
+#: correctness never depends on a hit.
+_SPLIT_CACHE: dict[tuple[int, int, int], tuple["KeyGroup", "KeyGroup"]] = {}
+_SPLIT_CACHE_LIMIT = 1 << 16
+
 
 def first_overlapping_pair(
     groups: Iterable["KeyGroup"],
@@ -82,6 +93,14 @@ class KeyGroup:
             raise ValueError(
                 f"prefix {self.prefix} does not fit in {self.depth} bits"
             )
+        # Groups key nearly every hot dict in the system (server tables,
+        # child-report maps, route memos), so the field-tuple hash the
+        # dataclass machinery would rebuild per call is precomputed once.
+        # The value matches the generated ``__hash__`` exactly.
+        object.__setattr__(self, "_hash", hash((self.prefix, self.depth, self.width)))
+
+    def __hash__(self) -> int:  # overrides the dataclass-generated tuple hash
+        return self._hash
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -198,11 +217,18 @@ class KeyGroup:
         """
         if self.depth >= self.width:
             raise ValueError(f"cannot split a full-depth group {self}")
-        left = KeyGroup(prefix=self.prefix << 1, depth=self.depth + 1, width=self.width)
-        right = KeyGroup(
-            prefix=(self.prefix << 1) | 1, depth=self.depth + 1, width=self.width
-        )
-        return left, right
+        key = (self.prefix, self.depth, self.width)
+        cached = _SPLIT_CACHE.get(key)
+        if cached is None:
+            if len(_SPLIT_CACHE) >= _SPLIT_CACHE_LIMIT:
+                _SPLIT_CACHE.clear()
+            left = KeyGroup(prefix=self.prefix << 1, depth=self.depth + 1, width=self.width)
+            right = KeyGroup(
+                prefix=(self.prefix << 1) | 1, depth=self.depth + 1, width=self.width
+            )
+            cached = (left, right)
+            _SPLIT_CACHE[key] = cached
+        return cached
 
     def parent(self) -> "KeyGroup":
         """The depth ``d-1`` group obtained by dropping the last prefix bit."""

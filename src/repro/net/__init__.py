@@ -154,6 +154,8 @@ def build_transport(
     latency: LatencyModel | None = None
     if spec.models_time:
         latency = _latency_model(link_latency, latency_jitter, per_hop_latency, rng)
-    return spec.factory(
+    transport = spec.factory(
         engine=engine, latency=latency, ready_rng=ready_rng, schedule=schedule
     )
+    transport.supports_report_diff = spec.report_diff
+    return transport

@@ -67,6 +67,15 @@ class TransportSpec:
             each shard namespace to its own worker process.
             :class:`~repro.sim.simulator.SimulationParams` refuses
             ``shards > 1`` on a transport that is not shard-aware.
+        report_diff: The protocol layer may skip re-posting load reports whose
+            content the destination already holds (the report-diff exchange in
+            :meth:`~repro.core.protocol.ClashSystem.exchange_load_reports`).
+            Only sound on clock-less transports: a transport that prices each
+            delivery with a latency model (``models_time``) or draws
+            per-delivery RNG would see every later sample shift when an
+            envelope is elided, breaking the equivalence contracts above.
+            Message *accounting* is unaffected either way — skipped reports
+            are still charged exactly as a delivery would have been.
     """
 
     kind: str
@@ -77,6 +86,7 @@ class TransportSpec:
     exact_equivalence: bool = True
     churn_equivalence: bool = True
     shard_aware: bool = True
+    report_diff: bool = False
 
 
 def _build_event(
@@ -126,6 +136,7 @@ TRANSPORTS: dict[str, TransportSpec] = {
             kind="inline",
             summary="synchronous in-process dispatch (the paper-faithful default)",
             factory=lambda **_ignored: InlineTransport(),
+            report_diff=True,
         ),
         TransportSpec(
             kind="event",
@@ -144,6 +155,7 @@ TRANSPORTS: dict[str, TransportSpec] = {
             summary="per-period coalescing of same-destination traffic and "
             "DHT route resolutions",
             factory=lambda **_ignored: BatchingTransport(),
+            report_diff=True,
         ),
         TransportSpec(
             kind="async",
@@ -167,6 +179,7 @@ TRANSPORTS: dict[str, TransportSpec] = {
             # Clock-less like batching: churn drains at period boundaries,
             # routes coalesce per window with replayed hop charges, so both
             # equivalence contracts hold bit for bit.
+            report_diff=True,
         ),
     )
 }

@@ -91,6 +91,16 @@ class Transport(abc.ABC):
     until :meth:`flush`).
     """
 
+    #: Whether the protocol layer may elide re-posting a load report whose
+    #: content the destination already holds (the report-diff exchange).
+    #: Eliding a post is only stream-preserving on transports that neither
+    #: price deliveries with a latency model nor draw per-delivery RNG — a
+    #: skipped envelope would otherwise shift every later sample/draw.  The
+    #: flag is stamped from :class:`~repro.net.registry.TransportSpec` by
+    #: :func:`repro.net.build_transport`; directly-constructed transports
+    #: keep the conservative class default (full delivery, always safe).
+    supports_report_diff = False
+
     def __init__(self) -> None:
         self._handlers: dict[str, Handler] = {}
         self._endpoint_shards: dict[str, int] = {}

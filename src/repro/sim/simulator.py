@@ -102,6 +102,12 @@ class SimulationParams:
             outcomes are identical either way (the incremental repair is
             bit-exact); this is the reference mode the equivalence suite and
             the paper-scale benchmark compare against.
+        force_full_load_scan: Force every balance pass onto the reference
+            every-server scan (and full load-report exchange) instead of the
+            dirty-driven work queues and report-diff delivery.  Metric
+            streams are identical either way (the incremental pass is
+            bit-exact); this is the reference mode the equivalence suite
+            compares against.
         verify_invariants: Run :meth:`~repro.core.protocol.ClashSystem.\
 verify_invariants` after every membership event and at every period
             boundary.  Off by default (it is pure overhead on a healthy run);
@@ -137,6 +143,7 @@ verify_invariants` after every membership event and at every period
     per_hop_latency: float = 0.0
     shards: int = 1
     force_full_stabilise: bool = False
+    force_full_load_scan: bool = False
     verify_invariants: bool = False
     delivery_seed: int | None = None
     churn_seed: int | None = None
@@ -144,6 +151,7 @@ verify_invariants` after every membership event and at every period
 
     def __post_init__(self) -> None:
         check_type("force_full_stabilise", self.force_full_stabilise, bool)
+        check_type("force_full_load_scan", self.force_full_load_scan, bool)
         check_type("verify_invariants", self.verify_invariants, bool)
         for name in ("delivery_seed", "churn_seed"):
             value = getattr(self, name)
@@ -357,6 +365,8 @@ class FlowSimulator:
         )
         if params.force_full_stabilise:
             self._system.set_force_full_stabilise(True)
+        if params.force_full_load_scan:
+            self._system.force_full_load_scan = True
         self._system.bootstrap(config.initial_depth)
         self._churn_rng = seeds.stream("churn")
         # Poisson-arrival churn within phases.  Joins and failures draw from
@@ -540,7 +550,13 @@ class FlowSimulator:
         ``(group, former owner)`` pairs are discarded (a stale query override
         would otherwise be resurrected if the group re-activates there).
         """
-        self._system.clear_all_child_reports()
+        # Under the report-diff exchange the standing reports ARE the state
+        # (unchanged children never re-post); wiping them here would turn
+        # every parent's report set stale forever.  The full exchange
+        # re-posts everything each iteration, so the wipe is what keeps
+        # reports from servers that lost their groups from lingering.
+        if not self._system.report_diff_active:
+            self._system.clear_all_child_reports()
         for group, former_owner in retired:
             try:
                 server = self._system.server(former_owner)
@@ -1100,8 +1116,15 @@ class FlowSimulator:
             final_active_groups=len(self._system.active_groups()),
             total_splits=self._total_splits,
             total_merges=self._total_merges,
-            # Routing-tier telemetry rides along as notes: diff() ignores
-            # them, so the incremental and full-rebuild paths stay formally
-            # bit-identical while their work counters remain comparable.
-            notes={key: float(value) for key, value in self._system.dht_stats().items()},
+            # Routing-tier and balance-pass telemetry rides along as notes:
+            # diff() ignores them, so the incremental and full-rebuild paths
+            # stay formally bit-identical while their work counters remain
+            # comparable.
+            notes={
+                key: float(value)
+                for key, value in {
+                    **self._system.dht_stats(),
+                    **self._system.work_stats(),
+                }.items()
+            },
         )
